@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"testing"
+
+	"rads/internal/etrie"
+	"rads/internal/gen"
+	"rads/internal/graph"
+	"rads/internal/localenum"
+	"rads/internal/pattern"
+	"rads/internal/plan"
+)
+
+// benchTrie measures raw embedding-trie insert/remove throughput on
+// synthetic 4-level paths with heavy prefix sharing.
+func benchTrie(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := etrie.New(4)
+		var leaves []*etrie.Node
+		for a := 0; a < 16; a++ {
+			na := tr.Node(nil, graph.VertexID(a))
+			tr.Link(na)
+			for c := 0; c < 16; c++ {
+				nc := tr.Node(na, graph.VertexID(c))
+				tr.Link(nc)
+				for d := 0; d < 4; d++ {
+					nd := tr.Node(nc, graph.VertexID(d))
+					tr.Link(nd)
+					leaves = append(leaves, nd)
+				}
+			}
+		}
+		for _, lf := range leaves {
+			tr.Remove(lf)
+		}
+		if tr.NodeCount() != 0 {
+			b.Fatal("trie not empty")
+		}
+	}
+}
+
+// benchPlans measures Section 4 plan computation across the whole
+// query suite (spanning-tree enumeration dominates).
+func benchPlans(b *testing.B) {
+	queries := append(pattern.QuerySet(), pattern.CliqueQuerySet()...)
+	queries = append(queries, pattern.RunningExample())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := plan.Compute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchLocalEnum measures the TurboIso-style enumerator (the SM-E
+// inner loop) counting houses in a community graph.
+func benchLocalEnum(b *testing.B) {
+	g := gen.Community(10, 25, 0.25, 17)
+	q := pattern.ByName("q4")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		total += localenum.Count(g, q, localenum.Options{})
+	}
+	if total == 0 {
+		b.Fatal("no embeddings found")
+	}
+}

@@ -1,0 +1,112 @@
+// Command radsstat profiles a dataset and its partition the way the
+// paper's Table 1 profiles the evaluation graphs, then reports the
+// partition-quality numbers behind the Exp-1 narrative: edge cut,
+// border fraction, and the fraction of vertices eligible for
+// single-machine enumeration at each query-vertex span.
+//
+// Usage:
+//
+//	radsstat -dataset RoadNet -machines 10
+//	radsstat -graph edges.txt -machines 4 -partitioner hash
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rads/internal/gen"
+	"rads/internal/graph"
+	"rads/internal/harness"
+	"rads/internal/partition"
+)
+
+func main() {
+	var (
+		dataset     = flag.String("dataset", "DBLP", "built-in dataset analog (RoadNet DBLP LiveJournal UK2002)")
+		graphFile   = flag.String("graph", "", "edge-list file overriding -dataset")
+		machines    = flag.Int("machines", 10, "number of simulated machines")
+		scale       = flag.Float64("scale", 1.0, "dataset scale factor")
+		partitioner = flag.String("partitioner", "kway", "partitioner (kway hash)")
+		maxSpan     = flag.Int("max-span", 4, "largest span to report SM-E eligibility for")
+	)
+	flag.Parse()
+	if err := run(*dataset, *graphFile, *machines, *scale, *partitioner, *maxSpan); err != nil {
+		fmt.Fprintln(os.Stderr, "radsstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, graphFile string, machines int, scale float64, partitioner string, maxSpan int) error {
+	var g *graph.Graph
+	name := dataset
+	if graphFile != "" {
+		f, err := os.Open(graphFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = graph.ReadEdgeList(f)
+		if err != nil {
+			return err
+		}
+		name = graphFile
+	} else {
+		d, err := harness.DatasetByName(dataset)
+		if err != nil {
+			return err
+		}
+		g = d.Build(scale)
+	}
+
+	fmt.Println(gen.Profile(name, g))
+
+	var part *partition.Partition
+	switch partitioner {
+	case "kway":
+		part = partition.KWay(g, machines, 7)
+	case "hash":
+		part = partition.Hash(g, machines)
+	default:
+		return fmt.Errorf("unknown partitioner %q (kway or hash)", partitioner)
+	}
+	fmt.Printf("partition (%s): %s\n", partitioner, partition.Measure(part))
+
+	fmt.Println("SM-E eligible fraction by starting-vertex span (Proposition 1):")
+	for span := 1; span <= maxSpan; span++ {
+		fmt.Printf("  span %d: %5.1f%%\n", span, 100*partition.SMEFraction(part, span))
+	}
+
+	const maxD = 8
+	hist := BorderHistogramString(part, maxD)
+	fmt.Println("border distance distribution:")
+	fmt.Print(hist)
+	return nil
+}
+
+// BorderHistogramString renders the border-distance histogram with one
+// line per distance and a crude bar chart.
+func BorderHistogramString(part *partition.Partition, maxD int) string {
+	hist := partition.BorderDistanceHistogram(part, maxD)
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return "  (empty graph)\n"
+	}
+	out := ""
+	for d, c := range hist {
+		frac := float64(c) / float64(total)
+		bar := ""
+		for i := 0; i < int(frac*50); i++ {
+			bar += "#"
+		}
+		label := fmt.Sprintf("%d", d)
+		if d == maxD {
+			label = fmt.Sprintf(">=%d", maxD)
+		}
+		out += fmt.Sprintf("  %-4s %6.1f%% %s\n", label, 100*frac, bar)
+	}
+	return out
+}

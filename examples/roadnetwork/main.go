@@ -1,0 +1,45 @@
+// Roadnetwork: the SM-E showcase. On a road-network-like graph, most
+// vertices sit far from partition borders, so Proposition 1 routes
+// almost every candidate through single-machine enumeration and the
+// distributed phase barely touches the network — the paper's Exp-1
+// ("the communication cost is almost 0").
+//
+//	go run ./examples/roadnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rads/internal/gen"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+	"rads/internal/rads"
+)
+
+func main() {
+	g := gen.RoadNet(60, 60, 11)
+	fmt.Printf("road network: %d vertices, %d edges, approx diameter %d\n",
+		g.NumVertices(), g.NumEdges(), g.ApproxDiameter(4))
+	part := partition.KWay(g, 8, 5)
+
+	// Border statistics drive everything here.
+	border := 0
+	for t := 0; t < part.M; t++ {
+		border += len(part.Border(t))
+	}
+	fmt.Printf("partition: 8 machines, %d border vertices of %d total (%.1f%%)\n",
+		border, g.NumVertices(), 100*float64(border)/float64(g.NumVertices()))
+
+	fmt.Printf("%-6s %10s %8s %8s %10s\n", "query", "count", "SM-E", "dist", "comm(KB)")
+	for _, name := range []string{"q1", "q3", "q6", "q8"} {
+		q := pattern.ByName(name)
+		res, err := rads.Run(part, q, rads.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %10d %8d %8d %10.2f\n",
+			name, res.Total, res.SME, res.Distributed, float64(res.CommBytes)/1024)
+	}
+	fmt.Println("\nnote how SM-E finds nearly everything: that is Proposition 1 at work.")
+}

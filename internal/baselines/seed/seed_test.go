@@ -1,0 +1,156 @@
+package seed
+
+import (
+	"testing"
+
+	"rads/internal/baselines/common"
+	"rads/internal/baselines/twintwig"
+	"rads/internal/gen"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+)
+
+// checkJoinCover verifies the SEED decomposition invariants: every
+// pattern edge covered at least once (clique units may re-cover an
+// edge an earlier unit already covered — unit edges are constraints,
+// not multiplicities, so this is harmless), unit edges are pattern
+// edges, and each unit after the first shares a vertex with the
+// covered prefix.
+func checkJoinCover(t *testing.T, p *pattern.Pattern, units []twintwig.JoinUnit) {
+	t.Helper()
+	covered := make(map[[2]pattern.VertexID]int)
+	coveredV := make(map[pattern.VertexID]bool)
+	for i, u := range units {
+		if i > 0 {
+			shares := false
+			for _, v := range u.Verts {
+				if coveredV[v] {
+					shares = true
+					break
+				}
+			}
+			if !shares {
+				t.Fatalf("%s unit %d shares no vertex with earlier units", p.Name, i)
+			}
+		}
+		for _, e := range u.Edges {
+			a, b := u.Verts[e[0]], u.Verts[e[1]]
+			if !p.HasEdge(a, b) {
+				t.Fatalf("%s unit %d edge (u%d,u%d) not in pattern", p.Name, i, a, b)
+			}
+			if a > b {
+				a, b = b, a
+			}
+			covered[[2]pattern.VertexID{a, b}]++
+		}
+		for _, v := range u.Verts {
+			coveredV[v] = true
+		}
+	}
+	if len(covered) != p.NumEdges() {
+		t.Fatalf("%s: %d edges covered, want %d", p.Name, len(covered), p.NumEdges())
+	}
+	for e, cnt := range covered {
+		if cnt < 1 {
+			t.Fatalf("%s: edge %v never covered", p.Name, e)
+		}
+	}
+}
+
+func TestDecomposeCoversAllQueries(t *testing.T) {
+	pats := append(pattern.QuerySet(), pattern.CliqueQuerySet()...)
+	pats = append(pats, pattern.Triangle(), pattern.RunningExample(),
+		pattern.CompleteGraph(4), pattern.CompleteGraph(5))
+	for _, p := range pats {
+		units, err := Decompose(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		checkJoinCover(t, p, units)
+	}
+}
+
+func TestDecomposeUsesCliqueUnits(t *testing.T) {
+	// K4 should decompose into a single 4-clique unit — the SEED
+	// advantage over TwinTwig's edge-pair twigs.
+	units, err := Decompose(pattern.CompleteGraph(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("K4 decomposed into %d units, want 1 clique unit", len(units))
+	}
+	if len(units[0].Verts) != 4 || len(units[0].Edges) != 6 {
+		t.Errorf("K4 unit has %d verts and %d edges, want 4 and 6",
+			len(units[0].Verts), len(units[0].Edges))
+	}
+	// Triangle: one triangle unit.
+	units, err = Decompose(pattern.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 || len(units[0].Edges) != 3 {
+		t.Errorf("triangle should be a single clique unit, got %v", units)
+	}
+}
+
+func TestDecomposeFewerUnitsThanTwinTwigOnCliques(t *testing.T) {
+	for _, p := range []*pattern.Pattern{pattern.CompleteGraph(4), pattern.CompleteGraph(5)} {
+		su, err := Decompose(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tu, err := twintwig.Decompose(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(su) >= len(tu) {
+			t.Errorf("%s: SEED %d units, TwinTwig %d — clique units should win",
+				p.Name, len(su), len(tu))
+		}
+	}
+}
+
+func TestFindCliques(t *testing.T) {
+	// K4 contains 4 triangles and 1 K4; largest first.
+	cls := findCliques(pattern.CompleteGraph(4))
+	if len(cls) != 5 {
+		t.Fatalf("K4 cliques = %d, want 5 (4 triangles + 1 K4)", len(cls))
+	}
+	if len(cls[0]) != 4 {
+		t.Errorf("largest clique not first: %v", cls[0])
+	}
+	// Triangle-free patterns yield none.
+	if cls := findCliques(pattern.Cycle(5)); len(cls) != 0 {
+		t.Errorf("C5 cliques = %v, want none", cls)
+	}
+}
+
+func TestCliqueUnitAnchorsCoveredVertex(t *testing.T) {
+	cl := []pattern.VertexID{3, 5, 7}
+	u := cliqueUnit(cl, map[pattern.VertexID]bool{5: true})
+	if u.Verts[0] != 5 {
+		t.Errorf("anchor = u%d, want covered vertex u5", u.Verts[0])
+	}
+	if len(u.Edges) != 3 {
+		t.Errorf("triangle unit edges = %d, want 3", len(u.Edges))
+	}
+}
+
+func TestRunMatchesOracle(t *testing.T) {
+	g := gen.Community(4, 12, 0.3, 9)
+	part := partition.KWay(g, 3, 1)
+	for _, p := range []*pattern.Pattern{
+		pattern.Triangle(), pattern.CompleteGraph(4), pattern.Cycle(4),
+		pattern.ByName("q4"),
+	} {
+		want := common.Oracle(g, p)
+		res, err := Run(part, p, common.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if res.Total != want {
+			t.Errorf("%s: SEED = %d, oracle = %d", p.Name, res.Total, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOutOfMemory is returned (wrapped) when a machine's accounted
+// memory would exceed its budget. The robustness experiments of
+// Section 7 revolve around which engines hit this and which avoid it
+// via region-group memory control.
+var ErrOutOfMemory = errors.New("out of memory budget")
+
+// MemBudget models the per-machine memory capacity Phi of Section 6.
+// Engines charge the accounted bytes of their intermediate results and
+// caches; a charge beyond the budget fails. A zero-value or nil budget
+// is unlimited.
+type MemBudget struct {
+	mu      sync.Mutex
+	limit   int64
+	used    []int64
+	peak    []int64
+	charges int64
+}
+
+// NewMemBudget creates a budget of limit bytes per machine; limit <= 0
+// means unlimited.
+func NewMemBudget(m int, limit int64) *MemBudget {
+	return &MemBudget{limit: limit, used: make([]int64, m), peak: make([]int64, m)}
+}
+
+// Charge adds bytes to machine id's accounted usage. It fails with
+// ErrOutOfMemory if the budget would be exceeded, leaving usage
+// unchanged.
+func (b *MemBudget) Charge(id int, bytes int64) error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	next := b.used[id] + bytes
+	if b.limit > 0 && next > b.limit {
+		return fmt.Errorf("machine %d: %d + %d bytes exceeds budget %d: %w",
+			id, b.used[id], bytes, b.limit, ErrOutOfMemory)
+	}
+	b.used[id] = next
+	if next > b.peak[id] {
+		b.peak[id] = next
+	}
+	b.charges++
+	return nil
+}
+
+// Release returns bytes to machine id's budget.
+func (b *MemBudget) Release(id int, bytes int64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.used[id] -= bytes
+	if b.used[id] < 0 {
+		// Releasing more than charged is an accounting bug.
+		panic(fmt.Sprintf("cluster: machine %d released below zero", id))
+	}
+}
+
+// Used returns machine id's current accounted usage.
+func (b *MemBudget) Used(id int) int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used[id]
+}
+
+// Peak returns machine id's high-water mark.
+func (b *MemBudget) Peak(id int) int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peak[id]
+}
+
+// MaxPeak returns the largest per-machine peak — the number the
+// robustness experiment reports.
+func (b *MemBudget) MaxPeak() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var mx int64
+	for _, p := range b.peak {
+		if p > mx {
+			mx = p
+		}
+	}
+	return mx
+}
+
+// Limit returns the per-machine budget (0 = unlimited).
+func (b *MemBudget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rads/internal/graph"
+)
+
+// echoHandler answers verifyE with all-true and fetchV with singleton
+// lists, for transport plumbing tests.
+func echoHandler(t *testing.T) Handler {
+	return func(from int, req Message) (Message, error) {
+		switch r := req.(type) {
+		case *VerifyERequest:
+			return &VerifyEResponse{Exists: make([]bool, len(r.Edges))}, nil
+		case *FetchVRequest:
+			adj := make([][]graph.VertexID, len(r.Vertices))
+			for i, v := range r.Vertices {
+				adj[i] = []graph.VertexID{v + 1}
+			}
+			return &FetchVResponse{Adj: adj}, nil
+		case *CheckRRequest:
+			return &CheckRResponse{Unprocessed: from}, nil
+		case *ShareRRequest:
+			return &ShareRResponse{OK: true, Group: []graph.VertexID{graph.VertexID(from)}}, nil
+		case *ShuffleRequest:
+			return &ShuffleResponse{}, nil
+		default:
+			return nil, fmt.Errorf("unknown request %T", req)
+		}
+	}
+}
+
+func TestLocalTransportRoundTrip(t *testing.T) {
+	mt := NewMetrics(3)
+	tr := NewLocalTransport(mt)
+	defer tr.Close()
+	for i := 0; i < 3; i++ {
+		tr.Register(i, echoHandler(t))
+	}
+	resp, err := tr.Call(0, 1, &FetchVRequest{Vertices: []graph.VertexID{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv := resp.(*FetchVResponse)
+	if len(fv.Adj) != 1 || fv.Adj[0][0] != 8 {
+		t.Errorf("FetchV response = %+v", fv)
+	}
+	if mt.TotalMessages() != 1 {
+		t.Errorf("messages = %d", mt.TotalMessages())
+	}
+	if mt.TotalBytes() == 0 {
+		t.Error("bytes not accounted")
+	}
+}
+
+func TestLocalTransportRejectsSelfSend(t *testing.T) {
+	tr := NewLocalTransport(nil)
+	tr.Register(0, echoHandler(t))
+	if _, err := tr.Call(0, 0, &CheckRRequest{}); err == nil {
+		t.Error("self-send must fail: local work is not network traffic")
+	}
+}
+
+func TestLocalTransportUnknownMachine(t *testing.T) {
+	tr := NewLocalTransport(nil)
+	if _, err := tr.Call(0, 5, &CheckRRequest{}); err == nil {
+		t.Error("want error for unregistered machine")
+	}
+}
+
+func TestLocalTransportHandlerError(t *testing.T) {
+	tr := NewLocalTransport(nil)
+	tr.Register(1, func(from int, req Message) (Message, error) {
+		return nil, errors.New("boom")
+	})
+	if _, err := tr.Call(0, 1, &CheckRRequest{}); err == nil {
+		t.Error("handler error must propagate")
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	mt := NewMetrics(2)
+	req := &VerifyERequest{Edges: []graph.Edge{{U: 1, V: 2}, {U: 3, V: 4}}}
+	resp := &VerifyEResponse{Exists: []bool{true, false}}
+	mt.Account(0, 1, req, resp, "verifyE")
+	if got := mt.MachineSent(0); got != int64(req.ByteSize()) {
+		t.Errorf("sent(0) = %d, want %d", got, req.ByteSize())
+	}
+	if got := mt.MachineSent(1); got != int64(resp.ByteSize()) {
+		t.Errorf("sent(1) = %d, want %d", got, resp.ByteSize())
+	}
+	if got := mt.TotalBytes(); got != int64(req.ByteSize()+resp.ByteSize()) {
+		t.Errorf("total = %d", got)
+	}
+	if mt.ByKind()["verifyE"] != int64(req.ByteSize()+resp.ByteSize()) {
+		t.Errorf("ByKind = %v", mt.ByKind())
+	}
+}
+
+func TestMessageByteSizes(t *testing.T) {
+	cases := []struct {
+		m    Message
+		want int
+	}{
+		{&VerifyERequest{Edges: make([]graph.Edge, 3)}, 24},
+		{&VerifyEResponse{Exists: make([]bool, 3)}, 3},
+		{&FetchVRequest{Vertices: make([]graph.VertexID, 2)}, 8},
+		{&FetchVResponse{Adj: [][]graph.VertexID{{1, 2}, {3}}}, 4*3 + 4*2},
+		{&CheckRRequest{}, 1},
+		{&CheckRResponse{}, 8},
+		{&ShareRRequest{}, 1},
+		{&ShareRResponse{Group: make([]graph.VertexID, 4)}, 1 + 16},
+		{&ShuffleRequest{Rows: [][]graph.VertexID{{1, 2, 3}}}, 8 + 16},
+		{&ShuffleResponse{}, 1},
+	}
+	for _, c := range cases {
+		if got := c.m.ByteSize(); got != c.want {
+			t.Errorf("%T: ByteSize = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	if Kind(&VerifyERequest{}) != "verifyE" || Kind(&ShuffleRequest{}) != "shuffle" {
+		t.Error("Kind names wrong")
+	}
+	if Kind(&VerifyEResponse{}) != "other" {
+		t.Error("responses are 'other'")
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	mt := NewMetrics(2)
+	tr, err := NewTCPTransport(2, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Register(0, echoHandler(t))
+	tr.Register(1, echoHandler(t))
+
+	resp, err := tr.Call(0, 1, &VerifyERequest{Edges: []graph.Edge{{U: 1, V: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ve := resp.(*VerifyEResponse); len(ve.Exists) != 1 {
+		t.Errorf("VerifyE response = %+v", ve)
+	}
+	// Reuse the pooled connection.
+	resp, err = tr.Call(0, 1, &ShareRRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr := resp.(*ShareRResponse); !sr.OK || sr.Group[0] != 0 {
+		t.Errorf("ShareR response = %+v", sr)
+	}
+	if mt.TotalMessages() != 2 {
+		t.Errorf("messages = %d", mt.TotalMessages())
+	}
+}
+
+func TestTCPTransportConcurrentCalls(t *testing.T) {
+	tr, err := NewTCPTransport(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := 0; i < 4; i++ {
+		tr.Register(i, echoHandler(t))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for from := 0; from < 4; from++ {
+		for k := 0; k < 16; k++ {
+			wg.Add(1)
+			go func(from, k int) {
+				defer wg.Done()
+				to := (from + 1 + k%3) % 4
+				resp, err := tr.Call(from, to, &CheckRRequest{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.(*CheckRResponse).Unprocessed != from {
+					errs <- fmt.Errorf("wrong from echo")
+				}
+			}(from, k)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestTCPTransportHandlerError(t *testing.T) {
+	tr, err := NewTCPTransport(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Register(1, func(from int, req Message) (Message, error) {
+		return nil, errors.New("remote boom")
+	})
+	if _, err := tr.Call(0, 1, &CheckRRequest{}); err == nil || err.Error() != "remote boom" {
+		t.Errorf("err = %v, want remote boom", err)
+	}
+}
+
+func TestMemBudgetChargesAndFails(t *testing.T) {
+	b := NewMemBudget(2, 100)
+	if err := b.Charge(0, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Charge(0, 50); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	// Failed charge leaves usage unchanged.
+	if b.Used(0) != 60 {
+		t.Errorf("Used = %d, want 60", b.Used(0))
+	}
+	b.Release(0, 30)
+	if err := b.Charge(0, 50); err != nil {
+		t.Errorf("charge after release failed: %v", err)
+	}
+	if b.Peak(0) != 80 {
+		t.Errorf("Peak = %d, want 80", b.Peak(0))
+	}
+	if b.MaxPeak() != 80 {
+		t.Errorf("MaxPeak = %d", b.MaxPeak())
+	}
+}
+
+func TestMemBudgetUnlimited(t *testing.T) {
+	b := NewMemBudget(1, 0)
+	if err := b.Charge(0, 1<<40); err != nil {
+		t.Errorf("unlimited budget refused charge: %v", err)
+	}
+	var nilB *MemBudget
+	if err := nilB.Charge(0, 5); err != nil {
+		t.Errorf("nil budget must be unlimited: %v", err)
+	}
+	nilB.Release(0, 5)
+}
+
+func TestMemBudgetReleasePanicsBelowZero(t *testing.T) {
+	b := NewMemBudget(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	b.Release(0, 1)
+}
+
+func TestMemBudgetConcurrent(t *testing.T) {
+	b := NewMemBudget(1, 1<<40)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if err := b.Charge(0, 10); err != nil {
+					t.Error(err)
+					return
+				}
+				b.Release(0, 10)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Used(0) != 0 {
+		t.Errorf("Used = %d, want 0", b.Used(0))
+	}
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultyTransport wraps another Transport and injects failures and
+// delays, for testing how engines behave when the network misbehaves.
+// The paper's robustness claims are about memory, but a distributed
+// system that wedges or corrupts results on a failed RPC is not
+// robust either; the fault tests pin down that every engine surfaces
+// transport errors as clean run failures.
+//
+// All knobs may be combined. The zero value forwards everything
+// unchanged.
+type FaultyTransport struct {
+	Inner Transport
+
+	// FailKind, if non-empty, restricts injected failures to requests
+	// of that message kind (e.g. "fetchV"); empty matches all kinds.
+	FailKind string
+	// FailAfter controls counted failures: if positive, that many
+	// matching calls succeed and then all subsequent ones fail; if
+	// negative, matching calls fail immediately; zero disables counted
+	// failures (the zero value injects nothing).
+	FailAfter int64
+	// FailErr is the error returned by injected failures; nil uses a
+	// generic one.
+	FailErr error
+
+	// DropRate in [0,1] fails each matching call independently with
+	// this probability, using a deterministic internal rng (Seed).
+	DropRate float64
+	// Seed seeds the drop rng; the zero seed is valid and fixed.
+	Seed int64
+
+	// Latency delays every forwarded call, simulating a slow network.
+	Latency time.Duration
+
+	calls    atomic.Int64
+	failures atomic.Int64
+	remain   atomic.Int64
+	initOnce sync.Once
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// ErrInjected is the default error for injected failures.
+var ErrInjected = fmt.Errorf("cluster: injected transport fault")
+
+func (f *FaultyTransport) init() {
+	f.initOnce.Do(func() {
+		f.rng = rand.New(rand.NewSource(f.Seed))
+		switch {
+		case f.FailAfter > 0:
+			f.remain.Store(f.FailAfter)
+		case f.FailAfter < 0:
+			f.remain.Store(0)
+		default:
+			f.remain.Store(1 << 62)
+		}
+	})
+}
+
+// Register forwards to the inner transport.
+func (f *FaultyTransport) Register(id int, h Handler) { f.Inner.Register(id, h) }
+
+// Call forwards to the inner transport unless a fault triggers.
+func (f *FaultyTransport) Call(from, to int, req Message) (Message, error) {
+	f.init()
+	f.calls.Add(1)
+	matches := f.FailKind == "" || Kind(req) == f.FailKind
+	if matches {
+		if f.remain.Add(-1) < 0 {
+			f.failures.Add(1)
+			return nil, f.err()
+		}
+		if f.DropRate > 0 {
+			f.mu.Lock()
+			drop := f.rng.Float64() < f.DropRate
+			f.mu.Unlock()
+			if drop {
+				f.failures.Add(1)
+				return nil, f.err()
+			}
+		}
+	}
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	return f.Inner.Call(from, to, req)
+}
+
+func (f *FaultyTransport) err() error {
+	if f.FailErr != nil {
+		return f.FailErr
+	}
+	return ErrInjected
+}
+
+// Close forwards to the inner transport.
+func (f *FaultyTransport) Close() error { return f.Inner.Close() }
+
+// Calls returns the number of Call invocations observed.
+func (f *FaultyTransport) Calls() int64 { return f.calls.Load() }
+
+// Failures returns the number of calls that were failed by injection.
+func (f *FaultyTransport) Failures() int64 { return f.failures.Load() }

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rads/internal/graph"
+)
+
+// faultEchoHandler answers verifyE requests with all-true bits.
+func faultEchoHandler(from int, req Message) (Message, error) {
+	switch r := req.(type) {
+	case *VerifyERequest:
+		return &VerifyEResponse{Exists: make([]bool, len(r.Edges))}, nil
+	case *FetchVRequest:
+		return &FetchVResponse{Adj: make([][]graph.VertexID, len(r.Vertices))}, nil
+	default:
+		return &CheckRResponse{}, nil
+	}
+}
+
+func newFaulty(t *testing.T, ft *FaultyTransport) *FaultyTransport {
+	t.Helper()
+	ft.Inner = NewLocalTransport(nil)
+	ft.Register(0, faultEchoHandler)
+	ft.Register(1, faultEchoHandler)
+	return ft
+}
+
+func verifyReq() Message {
+	return &VerifyERequest{Edges: []graph.Edge{{U: 0, V: 1}}}
+}
+
+func TestFaultyZeroValueForwards(t *testing.T) {
+	ft := newFaulty(t, &FaultyTransport{})
+	for i := 0; i < 10; i++ {
+		if _, err := ft.Call(0, 1, verifyReq()); err != nil {
+			t.Fatalf("zero-value faulty transport failed call %d: %v", i, err)
+		}
+	}
+	if ft.Calls() != 10 || ft.Failures() != 0 {
+		t.Errorf("calls=%d failures=%d, want 10 and 0", ft.Calls(), ft.Failures())
+	}
+}
+
+func TestFaultyFailAfter(t *testing.T) {
+	ft := newFaulty(t, &FaultyTransport{FailAfter: 3})
+	var failures int
+	for i := 0; i < 10; i++ {
+		if _, err := ft.Call(0, 1, verifyReq()); err != nil {
+			failures++
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+		}
+	}
+	if failures != 7 {
+		t.Errorf("failures = %d, want 7 (3 succeed, rest fail)", failures)
+	}
+	if ft.Failures() != 7 {
+		t.Errorf("Failures() = %d, want 7", ft.Failures())
+	}
+}
+
+func TestFaultyFailImmediately(t *testing.T) {
+	custom := errors.New("boom")
+	ft := newFaulty(t, &FaultyTransport{FailAfter: -1, FailErr: custom})
+	_, err := ft.Call(0, 1, verifyReq())
+	if !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom error", err)
+	}
+}
+
+func TestFaultyKindFilter(t *testing.T) {
+	ft := newFaulty(t, &FaultyTransport{FailAfter: -1, FailKind: "fetchV"})
+	// verifyE passes...
+	if _, err := ft.Call(0, 1, verifyReq()); err != nil {
+		t.Fatalf("verifyE should pass: %v", err)
+	}
+	// ...fetchV fails.
+	if _, err := ft.Call(0, 1, &FetchVRequest{Vertices: []graph.VertexID{3}}); err == nil {
+		t.Fatal("fetchV should fail")
+	}
+}
+
+func TestFaultyDropRateDeterministic(t *testing.T) {
+	run := func() (failures int64) {
+		ft := newFaulty(t, &FaultyTransport{DropRate: 0.5, Seed: 42})
+		for i := 0; i < 200; i++ {
+			ft.Call(0, 1, verifyReq())
+		}
+		return ft.Failures()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different drop counts: %d vs %d", a, b)
+	}
+	if a < 50 || a > 150 {
+		t.Errorf("drop count %d wildly off a 0.5 rate over 200 calls", a)
+	}
+}
+
+func TestFaultyLatency(t *testing.T) {
+	ft := newFaulty(t, &FaultyTransport{Latency: 2 * time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := ft.Call(0, 1, verifyReq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("5 calls with 2ms latency took %v, want >= 10ms", elapsed)
+	}
+}

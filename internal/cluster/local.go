@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LocalTransport delivers requests by direct handler invocation in the
+// caller's goroutine — the in-process cluster simulation. Machines run
+// concurrently as goroutines, so handlers observe genuinely concurrent,
+// asynchronous request arrival, exactly like the paper's daemon
+// threads. Every message is still accounted through Metrics, so
+// communication-cost experiments are unaffected by the simulation.
+type LocalTransport struct {
+	mu       sync.RWMutex
+	handlers map[int]Handler
+	metrics  *Metrics
+}
+
+// NewLocalTransport returns a transport for machines 0..m-1, recording
+// traffic into metrics (which may be nil to skip accounting).
+func NewLocalTransport(metrics *Metrics) *LocalTransport {
+	return &LocalTransport{handlers: make(map[int]Handler), metrics: metrics}
+}
+
+// Register installs the daemon handler for machine id.
+func (t *LocalTransport) Register(id int, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[id] = h
+}
+
+// Call invokes the target handler directly and accounts the traffic.
+// Sending to yourself is a programming error: local work must not be
+// counted as network traffic.
+func (t *LocalTransport) Call(from, to int, req Message) (Message, error) {
+	if from == to {
+		return nil, fmt.Errorf("cluster: machine %d sent itself a %s request", from, Kind(req))
+	}
+	t.mu.RLock()
+	h, ok := t.handlers[to]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: no machine %d registered", to)
+	}
+	resp, err := h(from, req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: machine %d handling %s from %d: %w", to, Kind(req), from, err)
+	}
+	t.metrics.Account(from, to, req, resp, Kind(req))
+	return resp, nil
+}
+
+// Close is a no-op for the local transport.
+func (t *LocalTransport) Close() error { return nil }

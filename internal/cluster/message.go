@@ -1,0 +1,133 @@
+// Package cluster is the distributed substrate of the reproduction: it
+// models the paper's cluster of machines exchanging daemon requests
+// (Section 3.1: verifyE, fetchV, checkR, shareR) over a pluggable
+// Transport. Two transports are provided: an in-process one used by
+// the experiment harness (every machine is a goroutine; every byte
+// that would cross the network is still counted), and a real TCP
+// transport using length-prefixed gob framing, demonstrating that the
+// protocol is genuinely serializable (examples/tcpcluster).
+//
+// The paper implements this layer with MPICH2 + Boost.Asio; the
+// substitution is documented in DESIGN.md. What the evaluation
+// measures — message counts, exchanged bytes, asynchronous progress —
+// is preserved by construction.
+package cluster
+
+import (
+	"rads/internal/graph"
+)
+
+// Message is any payload exchanged between machines. ByteSize is the
+// accounted wire size in bytes, used for the paper's communication-cost
+// metrics; the TCP transport additionally serializes messages for real.
+type Message interface {
+	ByteSize() int
+}
+
+const (
+	vertexWire = 4 // bytes per vertex ID on the wire
+	edgeWire   = 8 // bytes per edge (two vertex IDs)
+	boolWire   = 1
+	intWire    = 8
+)
+
+// VerifyERequest asks the target machine to check the existence of data
+// edges it can see (daemon functionality (1)).
+type VerifyERequest struct {
+	Edges []graph.Edge
+}
+
+func (r *VerifyERequest) ByteSize() int { return len(r.Edges) * edgeWire }
+
+// VerifyEResponse carries one existence bit per requested edge.
+type VerifyEResponse struct {
+	Exists []bool
+}
+
+func (r *VerifyEResponse) ByteSize() int { return len(r.Exists) * boolWire }
+
+// FetchVRequest asks for the adjacency lists of vertices owned by the
+// target machine (daemon functionality (2)).
+type FetchVRequest struct {
+	Vertices []graph.VertexID
+}
+
+func (r *FetchVRequest) ByteSize() int { return len(r.Vertices) * vertexWire }
+
+// FetchVResponse returns one adjacency list per requested vertex.
+type FetchVResponse struct {
+	Adj [][]graph.VertexID
+}
+
+func (r *FetchVResponse) ByteSize() int {
+	n := 0
+	for _, a := range r.Adj {
+		n += vertexWire * (len(a) + 1) // list plus its length header
+	}
+	return n
+}
+
+// CheckRRequest asks how many region groups remain unprocessed
+// (daemon functionality (3), used for load balancing).
+type CheckRRequest struct{}
+
+func (r *CheckRRequest) ByteSize() int { return 1 }
+
+// CheckRResponse reports the number of unprocessed region groups.
+type CheckRResponse struct {
+	Unprocessed int
+}
+
+func (r *CheckRResponse) ByteSize() int { return intWire }
+
+// ShareRRequest asks the target to give away one unprocessed region
+// group (daemon functionality (4)).
+type ShareRRequest struct{}
+
+func (r *ShareRRequest) ByteSize() int { return 1 }
+
+// ShareRResponse carries a stolen region group; OK is false when the
+// target had none left.
+type ShareRResponse struct {
+	OK    bool
+	Group []graph.VertexID
+}
+
+func (r *ShareRResponse) ByteSize() int { return boolWire + len(r.Group)*vertexWire }
+
+// ShuffleRequest delivers a batch of partial-embedding rows to the
+// target machine. The join- and exploration-based baselines (TwinTwig,
+// SEED, PSgL, BigJoin) exchange intermediate results with it; RADS
+// never uses it — that asymmetry *is* the paper's point.
+type ShuffleRequest struct {
+	Round int
+	Rows  [][]graph.VertexID
+}
+
+func (r *ShuffleRequest) ByteSize() int {
+	n := intWire
+	for _, row := range r.Rows {
+		n += vertexWire * (len(row) + 1)
+	}
+	return n
+}
+
+// ShuffleResponse acknowledges a shuffle batch.
+type ShuffleResponse struct{}
+
+func (r *ShuffleResponse) ByteSize() int { return 1 }
+
+// Handler serves requests arriving at one machine — the paper's daemon
+// thread. Implementations must be safe for concurrent calls.
+type Handler func(from int, req Message) (Message, error)
+
+// Transport delivers requests between machines.
+type Transport interface {
+	// Register installs the daemon handler for machine id.
+	Register(id int, h Handler)
+	// Call sends req from machine `from` to machine `to` and waits for
+	// the response.
+	Call(from, to int, req Message) (Message, error)
+	// Close releases transport resources.
+	Close() error
+}

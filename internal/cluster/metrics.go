@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics accounts communication between machines. All counters are
+// safe for concurrent update; the harness reads them after a run.
+type Metrics struct {
+	m        int
+	sent     []atomic.Int64 // bytes sent per machine (requests + its responses to others count at the responder)
+	received []atomic.Int64
+	messages []atomic.Int64
+
+	mu      sync.Mutex
+	perKind map[string]int64 // bytes per message kind, for diagnostics
+}
+
+// NewMetrics returns metrics for m machines.
+func NewMetrics(m int) *Metrics {
+	return &Metrics{
+		m:        m,
+		sent:     make([]atomic.Int64, m),
+		received: make([]atomic.Int64, m),
+		messages: make([]atomic.Int64, m),
+		perKind:  make(map[string]int64),
+	}
+}
+
+// Account records one request/response exchange from -> to.
+func (mt *Metrics) Account(from, to int, req, resp Message, kind string) {
+	if mt == nil {
+		return
+	}
+	rb, pb := int64(req.ByteSize()), int64(0)
+	if resp != nil {
+		pb = int64(resp.ByteSize())
+	}
+	mt.sent[from].Add(rb)
+	mt.received[to].Add(rb)
+	if resp != nil {
+		mt.sent[to].Add(pb)
+		mt.received[from].Add(pb)
+	}
+	mt.messages[from].Add(1)
+	mt.mu.Lock()
+	mt.perKind[kind] += rb + pb
+	mt.mu.Unlock()
+}
+
+// TotalBytes returns all bytes that crossed machine boundaries.
+func (mt *Metrics) TotalBytes() int64 {
+	var n int64
+	for i := range mt.sent {
+		n += mt.sent[i].Load()
+	}
+	return n
+}
+
+// TotalMessages returns the number of request/response exchanges.
+func (mt *Metrics) TotalMessages() int64 {
+	var n int64
+	for i := range mt.messages {
+		n += mt.messages[i].Load()
+	}
+	return n
+}
+
+// MachineSent returns bytes sent by machine id.
+func (mt *Metrics) MachineSent(id int) int64 { return mt.sent[id].Load() }
+
+// MachineReceived returns bytes received by machine id.
+func (mt *Metrics) MachineReceived(id int) int64 { return mt.received[id].Load() }
+
+// ByKind returns a copy of the per-message-kind byte totals.
+func (mt *Metrics) ByKind() map[string]int64 {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	out := make(map[string]int64, len(mt.perKind))
+	for k, v := range mt.perKind {
+		out[k] = v
+	}
+	return out
+}
+
+// Kind names a message for per-kind accounting.
+func Kind(m Message) string {
+	switch m.(type) {
+	case *VerifyERequest:
+		return "verifyE"
+	case *FetchVRequest:
+		return "fetchV"
+	case *CheckRRequest:
+		return "checkR"
+	case *ShareRRequest:
+		return "shareR"
+	case *ShuffleRequest:
+		return "shuffle"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+func init() {
+	// All concrete message types crossing the TCP transport.
+	gob.Register(&VerifyERequest{})
+	gob.Register(&VerifyEResponse{})
+	gob.Register(&FetchVRequest{})
+	gob.Register(&FetchVResponse{})
+	gob.Register(&CheckRRequest{})
+	gob.Register(&CheckRResponse{})
+	gob.Register(&ShareRRequest{})
+	gob.Register(&ShareRResponse{})
+	gob.Register(&ShuffleRequest{})
+	gob.Register(&ShuffleResponse{})
+}
+
+type tcpEnvelope struct {
+	From int
+	Req  Message
+}
+
+type tcpReply struct {
+	Resp Message
+	Err  string
+}
+
+// TCPTransport runs one TCP listener per machine on the loopback
+// interface and ships gob-encoded messages between them. It proves the
+// protocol is fully serializable and provides the substrate for
+// multi-process deployments; the harness uses LocalTransport for speed.
+type TCPTransport struct {
+	mu        sync.RWMutex
+	handlers  map[int]Handler
+	listeners []net.Listener
+	addrs     []string
+	metrics   *Metrics
+
+	connMu sync.Mutex
+	conns  map[connKey]*tcpConn
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+type connKey struct{ from, to int }
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewTCPTransport starts m loopback listeners, one per machine.
+func NewTCPTransport(m int, metrics *Metrics) (*TCPTransport, error) {
+	t := &TCPTransport{
+		handlers: make(map[int]Handler),
+		metrics:  metrics,
+		conns:    make(map[connKey]*tcpConn),
+	}
+	for i := 0; i < m; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("cluster: listen for machine %d: %w", i, err)
+		}
+		t.listeners = append(t.listeners, ln)
+		t.addrs = append(t.addrs, ln.Addr().String())
+		t.wg.Add(1)
+		go t.serve(i, ln)
+	}
+	return t, nil
+}
+
+// Addr returns the listen address of machine id (useful in examples).
+func (t *TCPTransport) Addr(id int) string { return t.addrs[id] }
+
+// Register installs the daemon handler for machine id.
+func (t *TCPTransport) Register(id int, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[id] = h
+}
+
+func (t *TCPTransport) serve(id int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			for {
+				var env tcpEnvelope
+				if err := dec.Decode(&env); err != nil {
+					return
+				}
+				t.mu.RLock()
+				h, ok := t.handlers[id]
+				t.mu.RUnlock()
+				var reply tcpReply
+				if !ok {
+					reply.Err = fmt.Sprintf("machine %d has no handler", id)
+				} else if resp, err := h(env.From, env.Req); err != nil {
+					reply.Err = err.Error()
+				} else {
+					reply.Resp = resp
+				}
+				if err := enc.Encode(&reply); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Call ships the request over TCP and waits for the reply, reusing one
+// persistent connection per (from, to) pair.
+func (t *TCPTransport) Call(from, to int, req Message) (Message, error) {
+	if from == to {
+		return nil, fmt.Errorf("cluster: machine %d sent itself a %s request", from, Kind(req))
+	}
+	conn, err := t.conn(from, to)
+	if err != nil {
+		return nil, err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if err := conn.enc.Encode(&tcpEnvelope{From: from, Req: req}); err != nil {
+		return nil, fmt.Errorf("cluster: send to %d: %w", to, err)
+	}
+	var reply tcpReply
+	if err := conn.dec.Decode(&reply); err != nil {
+		return nil, fmt.Errorf("cluster: receive from %d: %w", to, err)
+	}
+	if reply.Err != "" {
+		return nil, errors.New(reply.Err)
+	}
+	t.metrics.Account(from, to, req, reply.Resp, Kind(req))
+	return reply.Resp, nil
+}
+
+func (t *TCPTransport) conn(from, to int) (*tcpConn, error) {
+	key := connKey{from, to}
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	if t.closed {
+		return nil, errors.New("cluster: transport closed")
+	}
+	if c, ok := t.conns[key]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial machine %d: %w", to, err)
+	}
+	tc := &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	t.conns[key] = tc
+	return tc, nil
+}
+
+// Close shuts the listeners and all pooled connections.
+func (t *TCPTransport) Close() error {
+	t.connMu.Lock()
+	t.closed = true
+	for _, c := range t.conns {
+		c.c.Close()
+	}
+	t.conns = make(map[connKey]*tcpConn)
+	t.connMu.Unlock()
+	for _, ln := range t.listeners {
+		ln.Close()
+	}
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,259 @@
+// Package gen produces the synthetic data graphs that stand in for the
+// paper's four evaluation datasets (Table 1). The real datasets
+// (RoadNet 56M vertices, DBLP, LiveJournal, UK2002) are not available
+// in this offline environment, so per the reproduction's substitution
+// rule we generate graphs with the same *structural signature* at
+// laptop scale:
+//
+//   - RoadNet   -> perturbed 2D grid: avg degree ~2.7, enormous
+//     diameter, almost no triangles. Exercises the SM-E-dominates
+//     regime (Exp-1) where border distances are large.
+//   - DBLP      -> community graph: small, clustered, avg degree ~7.
+//     Exercises the everything-fits-in-cache regime (Exp-2).
+//   - LiveJournal -> Chung-Lu power law, avg degree ~14: skewed hubs
+//     blow up intermediate results of join-based engines (Exp-3).
+//   - UK2002    -> denser power law with planted triangles (web-graph
+//     clustering): the memory-crash regime (Exp-4).
+//
+// All generators are deterministic given a seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"rads/internal/graph"
+)
+
+// RoadNet returns a rows x cols grid where each lattice edge is kept
+// with probability keep, plus a few random "highway" shortcuts. The
+// result mirrors a road network: sparse, near-planar, huge diameter.
+func RoadNet(rows, cols int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	b := graph.NewBuilder(n)
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Keep ~92% of lattice edges so the grid stays connected in
+			// one big component but is not perfectly regular.
+			if c+1 < cols && rng.Float64() < 0.92 {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows && rng.Float64() < 0.92 {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+			// Occasional diagonal, like a local connector road.
+			if r+1 < rows && c+1 < cols && rng.Float64() < 0.05 {
+				b.AddEdge(id(r, c), id(r+1, c+1))
+			}
+		}
+	}
+	// A handful of long highways; too few to shrink the diameter much.
+	for i := 0; i < rows/8; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		b.AddEdge(u, v)
+	}
+	return connectify(b.Build(), seed)
+}
+
+// Community returns a clustered graph of k communities each of size
+// csize. Within a community, vertices connect with probability pIn;
+// a sparse random inter-community backbone keeps the graph connected.
+// This mimics a co-authorship network such as DBLP.
+func Community(k, csize int, pIn float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := k * csize
+	b := graph.NewBuilder(n)
+	for c := 0; c < k; c++ {
+		base := c * csize
+		for i := 0; i < csize; i++ {
+			for j := i + 1; j < csize; j++ {
+				if rng.Float64() < pIn {
+					b.AddEdge(graph.VertexID(base+i), graph.VertexID(base+j))
+				}
+			}
+		}
+	}
+	// Backbone: each community links to ~3 random others via 2 bridges.
+	for c := 0; c < k; c++ {
+		for t := 0; t < 3; t++ {
+			d := rng.Intn(k)
+			if d == c {
+				continue
+			}
+			u := graph.VertexID(c*csize + rng.Intn(csize))
+			v := graph.VertexID(d*csize + rng.Intn(csize))
+			b.AddEdge(u, v)
+			b.AddEdge(graph.VertexID(c*csize+rng.Intn(csize)),
+				graph.VertexID(d*csize+rng.Intn(csize)))
+		}
+	}
+	return connectify(b.Build(), seed)
+}
+
+// PowerLaw returns a Chung-Lu style graph: vertex v gets weight
+// proportional to (v+1)^(-1/(gamma-1)) scaled so the expected average
+// degree is avgDeg, and each sampled edge picks endpoints with
+// probability proportional to weight. extraTriangles, if positive,
+// closes that many random wedges into triangles (web graphs such as
+// UK2002 have far higher clustering than pure Chung-Lu).
+func PowerLaw(n int, avgDeg float64, gamma float64, extraTriangles int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, n)
+	var sum float64
+	exp := -1.0 / (gamma - 1.0)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), exp)
+		sum += w[i]
+	}
+	// Cumulative distribution for weighted sampling.
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i, wi := range w {
+		acc += wi / sum
+		cdf[i] = acc
+	}
+	sample := func() graph.VertexID {
+		x := rng.Float64()
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return graph.VertexID(lo)
+	}
+	m := int(avgDeg * float64(n) / 2)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := sample(), sample()
+		b.AddEdge(u, v)
+	}
+	g := b.Build()
+	if extraTriangles > 0 {
+		g = closeWedges(g, extraTriangles, seed+1)
+	}
+	return connectify(g, seed)
+}
+
+// closeWedges adds up to k edges, each closing a random length-2 path
+// (u - w - v) into a triangle, raising the clustering coefficient.
+func closeWedges(g *graph.Graph, k int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(g.NumVertices())
+	g.Edges(func(u, v graph.VertexID) bool {
+		b.AddEdge(u, v)
+		return true
+	})
+	n := g.NumVertices()
+	for i := 0; i < k; i++ {
+		w := graph.VertexID(rng.Intn(n))
+		a := g.Adj(w)
+		if len(a) < 2 {
+			continue
+		}
+		u := a[rng.Intn(len(a))]
+		v := a[rng.Intn(len(a))]
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// connectify links every smaller connected component to the largest one
+// with a single random edge, so that generated datasets are connected
+// like the paper's (partitioners and BFS assume one component).
+func connectify(g *graph.Graph, seed int64) *graph.Graph {
+	comp, k := g.ConnectedComponents()
+	if k <= 1 {
+		return g
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	size := make([]int, k)
+	for _, c := range comp {
+		size[c]++
+	}
+	largest := 0
+	for c, s := range size {
+		if s > size[largest] {
+			largest = c
+		}
+	}
+	// One representative per component, plus all vertices of the largest.
+	var lvs []graph.VertexID
+	rep := make([]graph.VertexID, k)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		c := comp[v]
+		if rep[c] < 0 {
+			rep[c] = graph.VertexID(v)
+		}
+		if int(c) == largest {
+			lvs = append(lvs, graph.VertexID(v))
+		}
+	}
+	b := graph.NewBuilder(g.NumVertices())
+	g.Edges(func(u, v graph.VertexID) bool {
+		b.AddEdge(u, v)
+		return true
+	})
+	for c, r := range rep {
+		if c == largest {
+			continue
+		}
+		b.AddEdge(r, lvs[rng.Intn(len(lvs))])
+	}
+	return b.Build()
+}
+
+// Grid returns an exact rows x cols lattice (no randomness): useful in
+// tests where the embedding counts are known in closed form.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ErdosRenyi returns G(n, p): every pair independently connected with
+// probability p. Used by property tests as an "anything goes" input.
+func ErdosRenyi(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Clique returns the complete graph K_n.
+func Clique(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,136 @@
+package gen
+
+import (
+	"testing"
+
+	"rads/internal/graph"
+)
+
+func TestRoadNetShape(t *testing.T) {
+	g := RoadNet(40, 40, 1)
+	if g.NumVertices() != 1600 {
+		t.Fatalf("vertices = %d, want 1600", g.NumVertices())
+	}
+	if d := g.AvgDegree(); d < 2 || d > 4.5 {
+		t.Errorf("avg degree = %v, want road-like (2..4.5)", d)
+	}
+	if diam := g.ApproxDiameter(4); diam < 20 {
+		t.Errorf("diameter = %d, want large (>=20) for a road analog", diam)
+	}
+	assertConnected(t, g)
+}
+
+func TestRoadNetDeterministic(t *testing.T) {
+	a := RoadNet(10, 10, 42)
+	b := RoadNet(10, 10, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	a.Edges(func(u, v graph.VertexID) bool {
+		if !b.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) missing in second run", u, v)
+		}
+		return true
+	})
+}
+
+func TestCommunityShape(t *testing.T) {
+	g := Community(30, 25, 0.3, 2)
+	if g.NumVertices() != 750 {
+		t.Fatalf("vertices = %d, want 750", g.NumVertices())
+	}
+	if d := g.AvgDegree(); d < 4 || d > 12 {
+		t.Errorf("avg degree = %v, want DBLP-like (4..12)", d)
+	}
+	assertConnected(t, g)
+	// Clustering: a community graph must contain triangles.
+	if countTriangles(g) == 0 {
+		t.Error("community graph has no triangles")
+	}
+}
+
+func TestPowerLawShape(t *testing.T) {
+	g := PowerLaw(2000, 10, 2.5, 0, 3)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Duplicate samples shrink the realized count a little.
+	if d := g.AvgDegree(); d < 5 || d > 11 {
+		t.Errorf("avg degree = %v, want ~10", d)
+	}
+	// Degree skew: hub should dominate the median massively.
+	if g.MaxDegree() < 5*int(g.AvgDegree()) {
+		t.Errorf("max degree %d not hub-like vs avg %v", g.MaxDegree(), g.AvgDegree())
+	}
+	assertConnected(t, g)
+}
+
+func TestPowerLawTrianglesIncrease(t *testing.T) {
+	plain := PowerLaw(800, 8, 2.5, 0, 4)
+	clustered := PowerLaw(800, 8, 2.5, 2000, 4)
+	if countTriangles(clustered) <= countTriangles(plain) {
+		t.Errorf("wedge closing did not increase triangles: %d vs %d",
+			countTriangles(clustered), countTriangles(plain))
+	}
+}
+
+func TestGridExactCounts(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumVertices() != 12 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Edges in a rows x cols grid: rows*(cols-1) + cols*(rows-1).
+	if g.NumEdges() != int64(3*3+4*2) {
+		t.Fatalf("edges = %d, want 17", g.NumEdges())
+	}
+	if countTriangles(g) != 0 {
+		t.Error("grid should be triangle-free")
+	}
+}
+
+func TestErdosRenyiEdgeProbability(t *testing.T) {
+	g := ErdosRenyi(100, 0.1, 5)
+	want := 0.1 * 100 * 99 / 2
+	got := float64(g.NumEdges())
+	if got < want*0.6 || got > want*1.4 {
+		t.Errorf("edges = %v, want about %v", got, want)
+	}
+}
+
+func TestClique(t *testing.T) {
+	g := Clique(5)
+	if g.NumEdges() != 10 {
+		t.Fatalf("K5 edges = %d, want 10", g.NumEdges())
+	}
+	if countTriangles(g) != 10 {
+		t.Fatalf("K5 triangles = %d, want 10", countTriangles(g))
+	}
+}
+
+func TestConnectifyJoinsComponents(t *testing.T) {
+	// A graph that is almost surely disconnected before connectify.
+	g := ErdosRenyi(200, 0.001, 9)
+	joined := connectify(g, 9)
+	assertConnected(t, joined)
+}
+
+func assertConnected(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	if _, k := g.ConnectedComponents(); k != 1 {
+		t.Fatalf("graph has %d components, want 1", k)
+	}
+}
+
+func countTriangles(g *graph.Graph) int {
+	n := 0
+	g.Edges(func(u, v graph.VertexID) bool {
+		common := graph.IntersectSorted(nil, g.Adj(u), g.Adj(v))
+		for _, w := range common {
+			if w > v { // count each triangle once (u < v < w)
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}

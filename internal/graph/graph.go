@@ -1,0 +1,189 @@
+// Package graph provides the in-memory data-graph representation used by
+// every component of the RADS reproduction: an undirected graph stored as
+// sorted adjacency lists, exactly as described in Section 2 of the paper
+// ("we assume each partition is stored as an adjacency-list").
+//
+// Vertex identifiers are dense integers in [0, NumVertices). Adjacency
+// lists are kept sorted ascending so that neighbourhood intersection —
+// the hot operation of every enumeration algorithm in this repository —
+// can run as a linear merge.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a data vertex. IDs are dense: a graph with n
+// vertices uses IDs 0..n-1.
+type VertexID int32
+
+// Edge is an undirected data edge. Callers should normalise so that
+// U <= V when using edges as map keys; Normalize does this.
+type Edge struct {
+	U, V VertexID
+}
+
+// Normalize returns the edge with endpoints ordered so that U <= V.
+func (e Edge) Normalize() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is an undirected graph stored as sorted adjacency lists.
+// The zero value is an empty graph; use NewBuilder or FromEdges to
+// construct populated graphs.
+type Graph struct {
+	adj [][]VertexID
+	m   int64 // number of undirected edges
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int64 { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v VertexID) int { return len(g.adj[v]) }
+
+// Adj returns the sorted adjacency list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Adj(v VertexID) []VertexID { return g.adj[v] }
+
+// HasEdge reports whether the undirected edge (u,v) exists. It binary
+// searches the shorter adjacency list.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	if u < 0 || v < 0 || int(u) >= len(g.adj) || int(v) >= len(g.adj) {
+		return false
+	}
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a, v = g.adj[v], u
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// AvgDegree returns the average vertex degree (2m/n).
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(len(g.adj))
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// Edges calls fn once for every undirected edge with u < v. It stops
+// early if fn returns false.
+func (g *Graph) Edges(fn func(u, v VertexID) bool) {
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if VertexID(u) < v {
+				if !fn(VertexID(u), v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate edges and
+// self-loops are silently dropped, matching the paper's simple
+// unlabeled-undirected-graph model.
+type Builder struct {
+	n   int
+	adj [][]VertexID
+}
+
+// NewBuilder creates a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, adj: make([][]VertexID, n)}
+}
+
+// AddEdge records the undirected edge (u,v). Self-loops are ignored.
+// Panics if either endpoint is out of range, since that is always a
+// programming error in this repository (generators produce dense IDs).
+func (b *Builder) AddEdge(u, v VertexID) {
+	if u == v {
+		return
+	}
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+}
+
+// Build sorts and deduplicates the adjacency lists and returns the
+// finished graph. The builder must not be reused afterwards.
+func (b *Builder) Build() *Graph {
+	var m int64
+	for u := range b.adj {
+		a := b.adj[u]
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		// Deduplicate in place.
+		w := 0
+		for i, v := range a {
+			if i == 0 || v != a[i-1] {
+				a[w] = v
+				w++
+			}
+		}
+		b.adj[u] = a[:w]
+		m += int64(w)
+	}
+	g := &Graph{adj: b.adj, m: m / 2}
+	b.adj = nil
+	return g
+}
+
+// FromEdges builds a graph with n vertices from an edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// IntersectSorted writes the intersection of two ascending vertex slices
+// into dst (which is truncated first) and returns it. It is the shared
+// kernel for candidate refinement in all enumeration engines.
+func IntersectSorted(dst, a, b []VertexID) []VertexID {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// ContainsSorted reports whether ascending slice a contains v.
+func ContainsSorted(a []VertexID, v VertexID) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}

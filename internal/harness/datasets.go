@@ -1,0 +1,101 @@
+// Package harness wires datasets, engines and experiment runners into
+// the reproduction of the paper's evaluation (Section 7 plus
+// Appendix C). Every table and figure has a runner here, a benchmark
+// in bench_test.go, and a CLI entry in cmd/radsbench.
+package harness
+
+import (
+	"fmt"
+
+	"rads/internal/gen"
+	"rads/internal/graph"
+)
+
+// Dataset is a synthetic analog of one of the paper's Table 1 graphs.
+// Scale 1.0 is the default laptop-sized instance; the generators are
+// deterministic, so every run sees the same graph.
+type Dataset struct {
+	Name     string // paper dataset it stands in for
+	Analog   string // what we generate instead (see DESIGN.md)
+	Build    func(scale float64) *graph.Graph
+	DefScale float64
+}
+
+// Datasets returns the four analogs in the paper's Table 1 order.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name:   "RoadNet",
+			Analog: "perturbed 2D grid (sparse, huge diameter)",
+			Build: func(s float64) *graph.Graph {
+				side := scaleInt(48, s)
+				return gen.RoadNet(side, side, 101)
+			},
+			DefScale: 1,
+		},
+		{
+			Name:   "DBLP",
+			Analog: "clustered community graph (small, dense-ish)",
+			Build: func(s float64) *graph.Graph {
+				return gen.Community(scaleInt(36, s), 20, 0.22, 102)
+			},
+			DefScale: 1,
+		},
+		{
+			Name:   "LiveJournal",
+			Analog: "Chung-Lu power law (skewed hubs)",
+			Build: func(s float64) *graph.Graph {
+				n := scaleInt(1500, s)
+				return gen.PowerLaw(n, 6, 3.1, n/4, 103)
+			},
+			DefScale: 1,
+		},
+		{
+			Name:   "UK2002",
+			Analog: "denser power law with planted triangles (web graph)",
+			Build: func(s float64) *graph.Graph {
+				n := scaleInt(2200, s)
+				return gen.PowerLaw(n, 8, 3.0, n*2/5, 104)
+			},
+			DefScale: 1,
+		},
+	}
+}
+
+// DatasetByName finds a dataset (case-sensitive paper name).
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("harness: unknown dataset %q", name)
+}
+
+func scaleInt(base int, s float64) int {
+	v := int(float64(base) * s)
+	if v < 4 {
+		v = 4
+	}
+	return v
+}
+
+// Profile is one row of Table 1.
+type Profile struct {
+	Name      string
+	Vertices  int
+	Edges     int64
+	AvgDegree float64
+	Diameter  int
+}
+
+// ProfileOf computes the Table 1 row for a dataset instance.
+func ProfileOf(name string, g *graph.Graph) Profile {
+	return Profile{
+		Name:      name,
+		Vertices:  g.NumVertices(),
+		Edges:     g.NumEdges(),
+		AvgDegree: g.AvgDegree(),
+		Diameter:  g.ApproxDiameter(6),
+	}
+}

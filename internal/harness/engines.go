@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rads/internal/baselines/bigjoin"
+	"rads/internal/baselines/common"
+	"rads/internal/baselines/crystal"
+	"rads/internal/baselines/psgl"
+	"rads/internal/baselines/seed"
+	"rads/internal/baselines/twintwig"
+	"rads/internal/cluster"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+	"rads/internal/rads"
+)
+
+// EngineNames lists the engines in the paper's chart order. "Pads" is
+// what the paper's figures call RADS in their legends; we use RADS.
+var EngineNames = []string{"SEED", "TwinTwig", "Crystal", "RADS", "PSgL"}
+
+// CliqueEngineNames is the Figure 15 engine subset.
+var CliqueEngineNames = []string{"SEED", "Crystal", "RADS"}
+
+// Uniform is an engine-agnostic result record, one bar of a figure.
+type Uniform struct {
+	Engine  string
+	Dataset string
+	Query   string
+	Total   int64
+	Seconds float64
+	CommMB  float64
+	PeakMB  float64
+	OOM     bool // the engine died of ErrOutOfMemory (paper: empty bar)
+	Err     error
+}
+
+// RunSpec describes one engine execution.
+type RunSpec struct {
+	Engine      string
+	Part        *partition.Partition
+	Query       *pattern.Pattern
+	BudgetBytes int64          // 0 = unlimited
+	Index       *crystal.Index // prebuilt clique index for Crystal
+}
+
+// RunEngine executes one engine and normalizes its result. An
+// out-of-memory failure is reported as OOM=true rather than an error —
+// the paper plots those as missing bars.
+func RunEngine(spec RunSpec) Uniform {
+	u := Uniform{Engine: spec.Engine, Query: spec.Query.Name}
+	m := spec.Part.M
+	var budget *cluster.MemBudget
+	if spec.BudgetBytes > 0 {
+		budget = cluster.NewMemBudget(m, spec.BudgetBytes)
+	}
+	metrics := cluster.NewMetrics(m)
+	ccfg := common.Config{Metrics: metrics, Budget: budget}
+
+	var total int64
+	var secs float64
+	var err error
+	switch spec.Engine {
+	case "RADS":
+		start := time.Now()
+		var res *rads.Result
+		res, err = rads.Run(spec.Part, spec.Query, rads.Config{Metrics: metrics, Budget: budget})
+		secs = time.Since(start).Seconds()
+		if err == nil {
+			total = res.Total
+		}
+	case "PSgL":
+		var res *common.Result
+		res, err = psgl.Run(spec.Part, spec.Query, ccfg)
+		if err == nil {
+			total, secs = res.Total, res.ElapsedSeconds
+		}
+	case "TwinTwig":
+		var res *common.Result
+		res, err = twintwig.Run(spec.Part, spec.Query, ccfg)
+		if err == nil {
+			total, secs = res.Total, res.ElapsedSeconds
+		}
+	case "SEED":
+		var res *common.Result
+		res, err = seed.Run(spec.Part, spec.Query, ccfg)
+		if err == nil {
+			total, secs = res.Total, res.ElapsedSeconds
+		}
+	case "BigJoin":
+		var res *common.Result
+		res, err = bigjoin.Run(spec.Part, spec.Query, ccfg)
+		if err == nil {
+			total, secs = res.Total, res.ElapsedSeconds
+		}
+	case "Crystal":
+		start := time.Now()
+		var res *common.Result
+		res, err = crystal.Run(spec.Part, spec.Query, crystal.Config{Config: ccfg, Index: spec.Index})
+		secs = time.Since(start).Seconds()
+		if err == nil {
+			total = res.Total
+		}
+	default:
+		err = fmt.Errorf("harness: unknown engine %q", spec.Engine)
+	}
+
+	u.Total = total
+	u.Seconds = secs
+	u.CommMB = float64(metrics.TotalBytes()) / (1 << 20)
+	if budget != nil {
+		u.PeakMB = float64(budget.MaxPeak()) / (1 << 20)
+	}
+	if err != nil {
+		if errors.Is(err, cluster.ErrOutOfMemory) {
+			u.OOM = true
+		} else {
+			u.Err = err
+		}
+	}
+	return u
+}
+
+// Verify cross-checks a set of uniform results: for every
+// (dataset, query) pair, all engines that completed must report the
+// same count.
+func Verify(results []Uniform) error {
+	want := make(map[[2]string]int64)
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s/%s: %w", r.Engine, r.Query, r.Err)
+		}
+		if r.OOM {
+			continue
+		}
+		key := [2]string{r.Dataset, r.Query}
+		if w, ok := want[key]; !ok {
+			want[key] = r.Total
+		} else if r.Total != w {
+			return fmt.Errorf("%s/%s: count %d disagrees with %d", r.Engine, r.Query, r.Total, w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a plain-text experiment artifact: one per paper table or
+// figure (figures become tables of the plotted values).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// F formats float values compactly for table cells.
+func F(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x < 0.001:
+		return fmt.Sprintf("%.2e", x)
+	case x < 10:
+		return fmt.Sprintf("%.3f", x)
+	default:
+		return fmt.Sprintf("%.1f", x)
+	}
+}
+
+// Cell renders a uniform result for a time or communication chart,
+// writing "OOM" for out-of-memory failures like the paper's missing
+// bars.
+func Cell(u Uniform, value float64) string {
+	if u.OOM {
+		return "OOM"
+	}
+	if u.Err != nil {
+		return "ERR"
+	}
+	return F(value)
+}

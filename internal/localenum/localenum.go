@@ -1,0 +1,353 @@
+// Package localenum is the single-machine subgraph enumerator used by
+// RADS for SM-E (Section 3.1: "try to find a set of local embeddings
+// using a single-machine algorithm, such as TurboIso") and used by the
+// test suite as the correctness oracle for every distributed engine.
+//
+// The implementation is TurboIso-flavoured backtracking: a
+// connectivity-aware matching order, degree filtering, and candidate
+// refinement by intersecting the adjacency lists of already-matched
+// neighbours. TurboIso's candidate-region and NEC machinery are
+// performance refinements of the same exploration and are not needed
+// for the reproduction (documented in DESIGN.md).
+package localenum
+
+import (
+	"rads/internal/graph"
+	"rads/internal/pattern"
+)
+
+// Options configures an enumeration.
+type Options struct {
+	// Order is the matching order over query vertices. Every vertex
+	// after the first must be adjacent to an earlier one. If nil, a
+	// greedy order is computed (max degree first, then most matched
+	// neighbours).
+	Order []pattern.VertexID
+	// Constraints are symmetry-breaking order constraints. If nil,
+	// pattern.SymmetryBreaking is used. Pass an empty non-nil slice to
+	// enumerate without symmetry breaking.
+	Constraints []pattern.OrderConstraint
+	// Allowed restricts data vertices; nil allows all. SM-E passes
+	// "owned by this machine".
+	Allowed func(graph.VertexID) bool
+	// StartCandidates restricts candidates of Order[0]; nil tries all
+	// allowed data vertices.
+	StartCandidates []graph.VertexID
+}
+
+// Stats reports work done by one Enumerate call.
+type Stats struct {
+	Embeddings int64 // full embeddings reported
+	TreeNodes  int64 // successful partial matches, including full ones;
+	// equals the node count if results were stored in an embedding trie
+	// (the Section 6 memory estimator uses exactly this quantity).
+}
+
+// Enumerate finds embeddings of p in g, honouring opts, and calls fn
+// with each full embedding f where f[u] is the data vertex matched to
+// query vertex u. The slice is reused; copy it to retain. Enumeration
+// stops early if fn returns false.
+func Enumerate(g *graph.Graph, p *pattern.Pattern, opts Options, fn func(f []graph.VertexID) bool) Stats {
+	n := p.N()
+	if n == 0 {
+		return Stats{}
+	}
+	order := opts.Order
+	if order == nil {
+		order = GreedyOrder(p)
+	}
+	cons := opts.Constraints
+	if cons == nil {
+		cons = p.SymmetryBreaking()
+	}
+
+	e := &enumerator{
+		g:       g,
+		p:       p,
+		order:   order,
+		allowed: opts.Allowed,
+		fn:      fn,
+		f:       make([]graph.VertexID, n),
+		used:    make(map[graph.VertexID]bool, n),
+		scratch: make([][]graph.VertexID, n),
+	}
+	for u := range e.f {
+		e.f[u] = -1
+	}
+	// Precompute, for each order position i>0, the earlier-matched
+	// query neighbours of order[i], and the constraints between
+	// order[i] and earlier vertices.
+	e.prevAdj = make([][]pattern.VertexID, n)
+	e.cons = make([][]posConstraint, n)
+	pos := make([]int, n)
+	for i, u := range order {
+		pos[u] = i
+	}
+	for i, u := range order {
+		for _, w := range p.Adj(u) {
+			if pos[w] < i {
+				e.prevAdj[i] = append(e.prevAdj[i], w)
+			}
+		}
+		for _, c := range cons {
+			if c.Less == u && pos[c.Greater] < i {
+				e.cons[i] = append(e.cons[i], posConstraint{other: c.Greater, less: true})
+			}
+			if c.Greater == u && pos[c.Less] < i {
+				e.cons[i] = append(e.cons[i], posConstraint{other: c.Less, less: false})
+			}
+		}
+	}
+
+	starts := opts.StartCandidates
+	u0 := order[0]
+	if starts == nil {
+		for v := 0; v < g.NumVertices(); v++ {
+			e.tryStart(u0, graph.VertexID(v))
+			if e.stopped {
+				break
+			}
+		}
+	} else {
+		for _, v := range starts {
+			e.tryStart(u0, v)
+			if e.stopped {
+				break
+			}
+		}
+	}
+	return e.stats
+}
+
+// Count returns the number of embeddings of p in g under opts.
+func Count(g *graph.Graph, p *pattern.Pattern, opts Options) int64 {
+	st := Enumerate(g, p, opts, func([]graph.VertexID) bool { return true })
+	return st.Embeddings
+}
+
+type posConstraint struct {
+	other pattern.VertexID
+	less  bool // true: f[u] < f[other] required; false: f[u] > f[other]
+}
+
+type enumerator struct {
+	g       *graph.Graph
+	p       *pattern.Pattern
+	order   []pattern.VertexID
+	allowed func(graph.VertexID) bool
+	fn      func([]graph.VertexID) bool
+	f       []graph.VertexID
+	used    map[graph.VertexID]bool
+	prevAdj [][]pattern.VertexID
+	cons    [][]posConstraint
+	scratch [][]graph.VertexID
+	stats   Stats
+	stopped bool
+}
+
+func (e *enumerator) tryStart(u0 pattern.VertexID, v graph.VertexID) {
+	if !e.admissible(0, u0, v) {
+		return
+	}
+	e.f[u0] = v
+	e.used[v] = true
+	e.stats.TreeNodes++
+	e.extend(1)
+	e.used[v] = false
+	e.f[u0] = -1
+}
+
+// admissible checks degree, ownership, injectivity, symmetry
+// constraints, and adjacency to all previously matched neighbours.
+func (e *enumerator) admissible(i int, u pattern.VertexID, v graph.VertexID) bool {
+	if e.used[v] {
+		return false
+	}
+	if e.g.Degree(v) < e.p.Degree(u) {
+		return false
+	}
+	if e.allowed != nil && !e.allowed(v) {
+		return false
+	}
+	for _, c := range e.cons[i] {
+		o := e.f[c.other]
+		if c.less {
+			if !(v < o) {
+				return false
+			}
+		} else if !(v > o) {
+			return false
+		}
+	}
+	for _, w := range e.prevAdj[i] {
+		if !e.g.HasEdge(v, e.f[w]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *enumerator) extend(i int) {
+	if e.stopped {
+		return
+	}
+	if i == len(e.order) {
+		e.stats.Embeddings++
+		if !e.fn(e.f) {
+			e.stopped = true
+		}
+		return
+	}
+	u := e.order[i]
+	// Candidates: neighbours of the matched neighbour with the smallest
+	// adjacency list (there is always at least one by order validity).
+	var base []graph.VertexID
+	for _, w := range e.prevAdj[i] {
+		a := e.g.Adj(e.f[w])
+		if base == nil || len(a) < len(base) {
+			base = a
+		}
+	}
+	if base == nil {
+		// Disconnected order: fall back to all vertices (used only by
+		// tests; plan-derived orders are connectivity-aware).
+		for v := 0; v < e.g.NumVertices(); v++ {
+			e.tryVertex(i, u, graph.VertexID(v))
+			if e.stopped {
+				return
+			}
+		}
+		return
+	}
+	for _, v := range base {
+		e.tryVertex(i, u, v)
+		if e.stopped {
+			return
+		}
+	}
+}
+
+func (e *enumerator) tryVertex(i int, u pattern.VertexID, v graph.VertexID) {
+	if !e.admissible(i, u, v) {
+		return
+	}
+	e.f[u] = v
+	e.used[v] = true
+	e.stats.TreeNodes++
+	e.extend(i + 1)
+	e.used[v] = false
+	e.f[u] = -1
+}
+
+// GreedyOrder returns a connectivity-aware matching order: the highest
+// degree vertex first, then repeatedly the vertex with the most
+// already-ordered neighbours (ties: higher degree, then smaller ID).
+func GreedyOrder(p *pattern.Pattern) []pattern.VertexID {
+	n := p.N()
+	order := make([]pattern.VertexID, 0, n)
+	placed := make([]bool, n)
+	best := pattern.VertexID(0)
+	for u := 1; u < n; u++ {
+		if p.Degree(pattern.VertexID(u)) > p.Degree(best) {
+			best = pattern.VertexID(u)
+		}
+	}
+	order = append(order, best)
+	placed[best] = true
+	for len(order) < n {
+		bestU, bestScore := pattern.VertexID(-1), -1
+		for u := 0; u < n; u++ {
+			if placed[u] {
+				continue
+			}
+			score := 0
+			for _, w := range p.Adj(pattern.VertexID(u)) {
+				if placed[w] {
+					score++
+				}
+			}
+			if score == 0 {
+				continue // keep order connected when possible
+			}
+			if score > bestScore ||
+				(score == bestScore && p.Degree(pattern.VertexID(u)) > p.Degree(bestU)) {
+				bestU, bestScore = pattern.VertexID(u), score
+			}
+		}
+		if bestU < 0 {
+			// Disconnected pattern: place any remaining vertex.
+			for u := 0; u < n; u++ {
+				if !placed[u] {
+					bestU = pattern.VertexID(u)
+					break
+				}
+			}
+		}
+		order = append(order, bestU)
+		placed[bestU] = true
+	}
+	return order
+}
+
+// BruteForce counts embeddings by checking every injective assignment,
+// with no candidate propagation at all. It is an independent oracle for
+// the test suite; only use it on tiny graphs.
+func BruteForce(g *graph.Graph, p *pattern.Pattern, cons []pattern.OrderConstraint) int64 {
+	if cons == nil {
+		cons = p.SymmetryBreaking()
+	}
+	n := p.N()
+	f := make([]graph.VertexID, n)
+	for i := range f {
+		f[i] = -1
+	}
+	used := make(map[graph.VertexID]bool)
+	var count int64
+	var rec func(u int)
+	rec = func(u int) {
+		if u == n {
+			count++
+			return
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			vv := graph.VertexID(v)
+			if used[vv] {
+				continue
+			}
+			ok := true
+			for _, w := range p.Adj(pattern.VertexID(u)) {
+				if int(w) < u && !g.HasEdge(vv, f[w]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, c := range cons {
+					if int(c.Greater) < u || int(c.Less) < u || c.Greater == pattern.VertexID(u) || c.Less == pattern.VertexID(u) {
+						l, gr := f[c.Less], f[c.Greater]
+						if c.Less == pattern.VertexID(u) {
+							l = vv
+						}
+						if c.Greater == pattern.VertexID(u) {
+							gr = vv
+						}
+						if l >= 0 && gr >= 0 && !(l < gr) {
+							ok = false
+							break
+						}
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			f[u] = vv
+			used[vv] = true
+			rec(u + 1)
+			used[vv] = false
+			f[u] = -1
+		}
+	}
+	rec(0)
+	return count
+}

@@ -1,0 +1,107 @@
+package localenum
+
+import (
+	"math/rand"
+	"testing"
+
+	"rads/internal/gen"
+	"rads/internal/graph"
+	"rads/internal/pattern"
+)
+
+// randomConnectedPattern mirrors the planner fuzzer: random tree plus
+// random extra edges, 3..7 vertices.
+func randomConnectedPattern(rng *rand.Rand) *pattern.Pattern {
+	n := 3 + rng.Intn(5)
+	var pairs []int
+	for v := 1; v < n; v++ {
+		pairs = append(pairs, v, rng.Intn(v))
+	}
+	for i := 0; i < rng.Intn(n); i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			pairs = append(pairs, u, v)
+		}
+	}
+	return pattern.New("rnd", n, pairs...)
+}
+
+// TestRandomPatternsMatchBruteForce fuzzes the enumerator against the
+// O(n^k) brute force over random patterns AND random graphs, with the
+// symmetry-breaking constraints applied on both sides.
+func TestRandomPatternsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for i := 0; i < 60; i++ {
+		p := randomConnectedPattern(rng)
+		g := gen.ErdosRenyi(8+rng.Intn(10), 0.2+0.4*rng.Float64(), rng.Int63())
+		cons := p.SymmetryBreaking()
+		want := BruteForce(g, p, cons)
+		got := Count(g, p, Options{})
+		if got != want {
+			t.Fatalf("case %d (%s on n=%d m=%d): Count=%d brute=%d",
+				i, p, g.NumVertices(), g.NumEdges(), got, want)
+		}
+	}
+}
+
+// TestSymmetryIdentityOnRandomPatterns: for any pattern,
+// count_with_constraints * |Aut(P)| == count_without_constraints.
+func TestSymmetryIdentityOnRandomPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for i := 0; i < 40; i++ {
+		p := randomConnectedPattern(rng)
+		g := gen.ErdosRenyi(10, 0.35, rng.Int63())
+		withCons := BruteForce(g, p, p.SymmetryBreaking())
+		without := BruteForce(g, p, []pattern.OrderConstraint{})
+		aut := int64(p.AutomorphismCount())
+		if withCons*aut != without {
+			t.Fatalf("case %d (%s): %d * |Aut|=%d != %d", i, p, withCons, aut, without)
+		}
+	}
+}
+
+// TestEnumerateIsomorphismInvariance: relabeling the data graph never
+// changes the count.
+func TestEnumerateIsomorphismInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < 25; i++ {
+		p := randomConnectedPattern(rng)
+		g := gen.ErdosRenyi(12, 0.3, rng.Int63())
+		n := g.NumVertices()
+		perm := make([]graph.VertexID, n)
+		for j := range perm {
+			perm[j] = graph.VertexID(j)
+		}
+		rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		h := g.Relabel(perm)
+		if a, b := Count(g, p, Options{}), Count(h, p, Options{}); a != b {
+			t.Fatalf("case %d (%s): count changed under relabel: %d vs %d", i, p, a, b)
+		}
+	}
+}
+
+// TestAllowedPartitionsSumToTotal: restricting the start candidate set
+// to each block of a partition of V and summing reproduces the total —
+// the property the SM-E / distributed split relies on.
+func TestAllowedPartitionsSumToTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := gen.Community(3, 10, 0.4, 5)
+	p := pattern.ByName("q2")
+	total := Count(g, p, Options{})
+
+	// Random 3-way split of the vertices; start candidates restricted
+	// per block must sum to the total (each embedding is found exactly
+	// once, from its start vertex's block).
+	blocks := make([][]graph.VertexID, 3)
+	for v := 0; v < g.NumVertices(); v++ {
+		b := rng.Intn(3)
+		blocks[b] = append(blocks[b], graph.VertexID(v))
+	}
+	var sum int64
+	for _, blk := range blocks {
+		sum += Count(g, p, Options{StartCandidates: blk})
+	}
+	if sum != total {
+		t.Fatalf("block counts sum to %d, total %d", sum, total)
+	}
+}

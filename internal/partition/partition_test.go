@@ -1,0 +1,208 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rads/internal/gen"
+	"rads/internal/graph"
+)
+
+func TestNewValidates(t *testing.T) {
+	g := gen.Grid(3, 3)
+	if _, err := New(g, 2, make([]int32, 4)); err == nil {
+		t.Error("want error for wrong owner length")
+	}
+	bad := make([]int32, 9)
+	bad[0] = 5
+	if _, err := New(g, 2, bad); err == nil {
+		t.Error("want error for out-of-range owner")
+	}
+}
+
+func TestHashPartitionInvariants(t *testing.T) {
+	g := gen.ErdosRenyi(100, 0.05, 1)
+	p := Hash(g, 4)
+	checkInvariants(t, p)
+	if p.Balance() > 1.01 {
+		t.Errorf("hash balance = %v, want ~1", p.Balance())
+	}
+}
+
+func TestKWayInvariants(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5, 10} {
+		g := gen.RoadNet(20, 20, 3)
+		p := KWay(g, m, 7)
+		checkInvariants(t, p)
+		if b := p.Balance(); b > 1.5 {
+			t.Errorf("m=%d: balance = %v, want <= 1.5", m, b)
+		}
+	}
+}
+
+func TestKWayBeatsHashOnLocality(t *testing.T) {
+	g := gen.RoadNet(30, 30, 5)
+	kw := KWay(g, 4, 11)
+	h := Hash(g, 4)
+	if kw.EdgeCut() >= h.EdgeCut() {
+		t.Errorf("KWay cut %d not better than Hash cut %d on a grid", kw.EdgeCut(), h.EdgeCut())
+	}
+	// Locality also means strictly fewer border vertices.
+	kb, hb := 0, 0
+	for t := 0; t < 4; t++ {
+		kb += len(kw.Border(t))
+		hb += len(h.Border(t))
+	}
+	if kb >= hb {
+		t.Errorf("KWay border %d not fewer than Hash border %d", kb, hb)
+	}
+}
+
+func TestKWayDeterministic(t *testing.T) {
+	g := gen.Community(10, 20, 0.3, 2)
+	a := KWay(g, 3, 42)
+	b := KWay(g, 3, 42)
+	for v := range a.Owner {
+		if a.Owner[v] != b.Owner[v] {
+			t.Fatalf("vertex %d owner differs: %d vs %d", v, a.Owner[v], b.Owner[v])
+		}
+	}
+}
+
+func TestBorderVertices(t *testing.T) {
+	// Path 0-1-2-3 split in the middle: 1 and 2 are border vertices.
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	p, err := New(g, 2, []int32{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Border(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Border(0) = %v, want [1]", got)
+	}
+	if got := p.Border(1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Border(1) = %v, want [2]", got)
+	}
+	if p.IsBorder(0) || !p.IsBorder(1) || !p.IsBorder(2) || p.IsBorder(3) {
+		t.Error("IsBorder wrong")
+	}
+}
+
+func TestBorderDistancesOnPath(t *testing.T) {
+	// Path of 6, machines {0,1,2} and {3,4,5}. Border: 2 and 3.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	g := b.Build()
+	p, err := New(g, 2, []int32{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := p.BorderDistances(0)
+	want := map[graph.VertexID]int32{0: 2, 1: 1, 2: 0}
+	for v, w := range want {
+		if d0[v] != w {
+			t.Errorf("BD(%d) = %d, want %d", v, d0[v], w)
+		}
+	}
+	if _, ok := d0[3]; ok {
+		t.Error("BorderDistances(0) leaked a foreign vertex")
+	}
+}
+
+func TestBorderDistancesNoBorder(t *testing.T) {
+	// Two disjoint triangles each wholly owned: no border vertices.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	g := b.Build()
+	p, err := New(g, 2, []int32{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.BorderDistances(0)
+	for v, bd := range d {
+		if bd != NoBorder {
+			t.Errorf("BD(%d) = %d, want NoBorder", v, bd)
+		}
+	}
+}
+
+// Property: for every partitioner and graph, ownership invariants hold.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		m := int(mRaw%6) + 1
+		g := gen.ErdosRenyi(60, 0.08, seed)
+		p := KWay(g, m, seed)
+		total := 0
+		for t := 0; t < m; t++ {
+			total += len(p.Vertices(t))
+			for _, v := range p.Vertices(t) {
+				if p.Owner[v] != int32(t) {
+					return false
+				}
+			}
+		}
+		return total == g.NumVertices()
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: border distance 0 iff border vertex; every vertex of a
+// machine appears in BorderDistances.
+func TestBorderDistanceProperty(t *testing.T) {
+	g := gen.Community(8, 15, 0.25, 6)
+	p := KWay(g, 3, 6)
+	for tm := 0; tm < 3; tm++ {
+		d := p.BorderDistances(tm)
+		if len(d) != len(p.Vertices(tm)) {
+			t.Fatalf("machine %d: %d distances for %d vertices", tm, len(d), len(p.Vertices(tm)))
+		}
+		for _, v := range p.Vertices(tm) {
+			isB := p.IsBorder(v)
+			if isB != (d[v] == 0) {
+				t.Errorf("machine %d vertex %d: border=%v but BD=%d", tm, v, isB, d[v])
+			}
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, p *Partition) {
+	t.Helper()
+	total := 0
+	for tm := 0; tm < p.M; tm++ {
+		total += len(p.Vertices(tm))
+		for _, v := range p.Vertices(tm) {
+			if p.Owner[v] != int32(tm) {
+				t.Fatalf("vertex %d listed under machine %d but owned by %d", v, tm, p.Owner[v])
+			}
+		}
+		for _, v := range p.Border(tm) {
+			if !p.IsBorder(v) {
+				t.Fatalf("vertex %d in Border(%d) but IsBorder is false", v, tm)
+			}
+		}
+	}
+	if total != p.G.NumVertices() {
+		t.Fatalf("parts cover %d vertices, want %d", total, p.G.NumVertices())
+	}
+}
+
+func TestEdgeCutCountsOnlyCross(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 1, V: 2}})
+	p, err := New(g, 2, []int32{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.EdgeCut(); got != 1 {
+		t.Errorf("EdgeCut = %d, want 1", got)
+	}
+}

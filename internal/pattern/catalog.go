@@ -1,0 +1,214 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file provides a parametric catalog of named patterns, a small
+// text codec for patterns, and an isomorphism test. The catalog feeds
+// tests (closed-form embedding counts exist for paths, cycles, stars
+// and cliques) and lets the CLI tools accept patterns beyond the
+// paper's fixed query sets.
+
+// Path returns the path pattern P_n on n >= 2 vertices (n-1 edges):
+// u0 - u1 - ... - u(n-1).
+func Path(n int) *Pattern {
+	if n < 2 {
+		panic("pattern: Path needs n >= 2")
+	}
+	pairs := make([]int, 0, 2*(n-1))
+	for i := 0; i+1 < n; i++ {
+		pairs = append(pairs, i, i+1)
+	}
+	return New(fmt.Sprintf("path%d", n), n, pairs...)
+}
+
+// Cycle returns the cycle pattern C_n on n >= 3 vertices.
+func Cycle(n int) *Pattern {
+	if n < 3 {
+		panic("pattern: Cycle needs n >= 3")
+	}
+	pairs := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		pairs = append(pairs, i, (i+1)%n)
+	}
+	return New(fmt.Sprintf("cycle%d", n), n, pairs...)
+}
+
+// Star returns the star pattern S_k: one hub (u0) with k >= 1 leaves.
+func Star(k int) *Pattern {
+	if k < 1 {
+		panic("pattern: Star needs k >= 1 leaves")
+	}
+	pairs := make([]int, 0, 2*k)
+	for i := 1; i <= k; i++ {
+		pairs = append(pairs, 0, i)
+	}
+	return New(fmt.Sprintf("star%d", k), k+1, pairs...)
+}
+
+// CompleteGraph returns the clique pattern K_n for n >= 2.
+func CompleteGraph(n int) *Pattern {
+	if n < 2 {
+		panic("pattern: CompleteGraph needs n >= 2")
+	}
+	var pairs []int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, i, j)
+		}
+	}
+	return New(fmt.Sprintf("k%d", n), n, pairs...)
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on one side,
+// a..a+b-1 on the other, all cross edges present.
+func CompleteBipartite(a, b int) *Pattern {
+	if a < 1 || b < 1 {
+		panic("pattern: CompleteBipartite needs a,b >= 1")
+	}
+	var pairs []int
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			pairs = append(pairs, i, a+j)
+		}
+	}
+	return New(fmt.Sprintf("k%d_%d", a, b), a+b, pairs...)
+}
+
+// Parse decodes the textual pattern format produced by Format:
+// "name:n:u-v,u-v,...". Whitespace around tokens is ignored.
+// Example: "triangle:3:0-1,1-2,0-2".
+func Parse(s string) (*Pattern, error) {
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("pattern: %q is not name:n:edges", s)
+	}
+	name := strings.TrimSpace(parts[0])
+	if name == "" {
+		return nil, fmt.Errorf("pattern: empty name in %q", s)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil || n < 1 || n > 127 {
+		return nil, fmt.Errorf("pattern: bad vertex count %q", parts[1])
+	}
+	var pairs []int
+	edgeField := strings.TrimSpace(parts[2])
+	if edgeField != "" {
+		for _, tok := range strings.Split(edgeField, ",") {
+			uv := strings.SplitN(strings.TrimSpace(tok), "-", 2)
+			if len(uv) != 2 {
+				return nil, fmt.Errorf("pattern: bad edge token %q", tok)
+			}
+			u, err1 := strconv.Atoi(strings.TrimSpace(uv[0]))
+			v, err2 := strconv.Atoi(strings.TrimSpace(uv[1]))
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("pattern: bad edge token %q", tok)
+			}
+			if u == v || u < 0 || v < 0 || u >= n || v >= n {
+				return nil, fmt.Errorf("pattern: edge %d-%d out of range for n=%d", u, v, n)
+			}
+			pairs = append(pairs, u, v)
+		}
+	}
+	return New(name, n, pairs...), nil
+}
+
+// Format encodes p in the textual format accepted by Parse. Edges are
+// emitted sorted, so Format is deterministic.
+func Format(p *Pattern) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%d:", p.Name, p.N())
+	for i, e := range p.Edges() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d-%d", e[0], e[1])
+	}
+	return b.String()
+}
+
+// IsIsomorphicTo reports whether p and q are isomorphic as unlabeled
+// graphs. Exponential backtracking with degree pruning — patterns are
+// tiny. Used to validate the reconstructed query sets (e.g. q5 must be
+// q4 plus one end vertex, not accidentally equal to q4).
+func (p *Pattern) IsIsomorphicTo(q *Pattern) bool {
+	if p.n != q.n || p.NumEdges() != q.NumEdges() {
+		return false
+	}
+	// Degree sequences must match.
+	dp := make([]int, p.n)
+	dq := make([]int, q.n)
+	for i := 0; i < p.n; i++ {
+		dp[i] = p.Degree(VertexID(i))
+		dq[i] = q.Degree(VertexID(i))
+	}
+	sp := append([]int(nil), dp...)
+	sq := append([]int(nil), dq...)
+	sort.Ints(sp)
+	sort.Ints(sq)
+	for i := range sp {
+		if sp[i] != sq[i] {
+			return false
+		}
+	}
+	// Backtracking: map p-vertex i to an unused q-vertex of equal degree
+	// consistent with all edges among mapped vertices.
+	mapping := make([]VertexID, p.n)
+	used := make([]bool, q.n)
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == p.n {
+			return true
+		}
+		for w := 0; w < q.n; w++ {
+			if used[w] || dq[w] != dp[i] {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				if p.HasEdge(VertexID(i), VertexID(j)) != q.HasEdge(VertexID(w), mapping[j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[i] = VertexID(w)
+			used[w] = true
+			if try(i + 1) {
+				return true
+			}
+			used[w] = false
+		}
+		return false
+	}
+	return try(0)
+}
+
+// Degrees returns the degree sequence of p in vertex order.
+func (p *Pattern) Degrees() []int {
+	d := make([]int, p.n)
+	for i := range d {
+		d[i] = len(p.adj[i])
+	}
+	return d
+}
+
+// EndVertices returns the degree-1 query vertices. The paper calls
+// these "end vertices" (e.g. u5 in q5) and observes that join-based
+// engines are highly sensitive to them while RADS and Crystal handle
+// them by simple combination counting.
+func (p *Pattern) EndVertices() []VertexID {
+	var out []VertexID
+	for i := 0; i < p.n; i++ {
+		if len(p.adj[i]) == 1 {
+			out = append(out, VertexID(i))
+		}
+	}
+	return out
+}

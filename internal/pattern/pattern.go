@@ -1,0 +1,228 @@
+// Package pattern represents query patterns (Section 2 of the paper):
+// small unlabeled, undirected, connected graphs whose embeddings we
+// enumerate in a data graph. It also implements the two pieces of
+// query-side machinery the paper relies on:
+//
+//   - Span (Definition 2): the eccentricity of a query vertex, used by
+//     Proposition 1 to route candidates to single-machine enumeration.
+//   - Symmetry breaking (Section 2, [8] Grochow-Kellis): a set of
+//     "preserved order" constraints f(u) < f(u') such that exactly one
+//     member of each automorphism class of embeddings survives.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a query vertex (u0, u1, ... in the paper).
+type VertexID int8
+
+// Pattern is a query graph. Patterns are tiny (<= ~10 vertices), so all
+// algorithms here may be exponential in the pattern size.
+type Pattern struct {
+	Name string
+	n    int
+	adj  [][]VertexID // sorted
+}
+
+// New builds a pattern with n vertices from an edge list given as pairs:
+// New("tri", 3, 0,1, 1,2, 0,2). Panics on malformed input — patterns are
+// compile-time constants in this repository.
+func New(name string, n int, pairs ...int) *Pattern {
+	if len(pairs)%2 != 0 {
+		panic("pattern: odd number of endpoints")
+	}
+	p := &Pattern{Name: name, n: n, adj: make([][]VertexID, n)}
+	seen := make(map[[2]int]bool)
+	for i := 0; i < len(pairs); i += 2 {
+		u, v := pairs[i], pairs[i+1]
+		if u == v || u < 0 || v < 0 || u >= n || v >= n {
+			panic(fmt.Sprintf("pattern %s: bad edge (%d,%d)", name, u, v))
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		p.adj[u] = append(p.adj[u], VertexID(v))
+		p.adj[v] = append(p.adj[v], VertexID(u))
+	}
+	for i := range p.adj {
+		a := p.adj[i]
+		sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+	}
+	return p
+}
+
+// N returns the number of query vertices.
+func (p *Pattern) N() int { return p.n }
+
+// Adj returns the sorted neighbour list of u.
+func (p *Pattern) Adj(u VertexID) []VertexID { return p.adj[u] }
+
+// Degree returns deg(u).
+func (p *Pattern) Degree(u VertexID) int { return len(p.adj[u]) }
+
+// HasEdge reports whether (u,v) is a pattern edge.
+func (p *Pattern) HasEdge(u, v VertexID) bool {
+	for _, w := range p.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumEdges returns |E_P|.
+func (p *Pattern) NumEdges() int {
+	total := 0
+	for _, a := range p.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Edges returns all edges with u < v, sorted lexicographically.
+func (p *Pattern) Edges() [][2]VertexID {
+	var out [][2]VertexID
+	for u := 0; u < p.n; u++ {
+		for _, v := range p.adj[u] {
+			if VertexID(u) < v {
+				out = append(out, [2]VertexID{VertexID(u), v})
+			}
+		}
+	}
+	return out
+}
+
+// IsConnected reports whether the pattern is connected. The paper
+// assumes all query patterns are connected.
+func (p *Pattern) IsConnected() bool {
+	if p.n == 0 {
+		return true
+	}
+	seen := make([]bool, p.n)
+	stack := []VertexID{0}
+	seen[0] = true
+	cnt := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range p.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				cnt++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return cnt == p.n
+}
+
+// Dist returns the matrix of pairwise shortest distances (hops) between
+// query vertices; -1 for unreachable pairs.
+func (p *Pattern) Dist() [][]int {
+	d := make([][]int, p.n)
+	for s := 0; s < p.n; s++ {
+		row := make([]int, p.n)
+		for i := range row {
+			row[i] = -1
+		}
+		row[s] = 0
+		queue := []VertexID{VertexID(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range p.adj[u] {
+				if row[v] < 0 {
+					row[v] = row[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		d[s] = row
+	}
+	return d
+}
+
+// Span returns Span_P(u) of Definition 2: the maximum shortest distance
+// from u to any other query vertex (u's eccentricity).
+func (p *Pattern) Span(u VertexID) int {
+	d := p.Dist()[u]
+	max := 0
+	for _, x := range d {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Diameter returns the pattern diameter.
+func (p *Pattern) Diameter() int {
+	max := 0
+	for u := 0; u < p.n; u++ {
+		if s := p.Span(VertexID(u)); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// InducedSubgraph returns the subgraph of p induced by vs, together
+// with the mapping from new vertex index to old. Used by the planner to
+// build the intermediate patterns P_0 ... P_l of Section 3.2.
+func (p *Pattern) InducedSubgraph(vs []VertexID) (*Pattern, []VertexID) {
+	idx := make(map[VertexID]int, len(vs))
+	old := make([]VertexID, len(vs))
+	for i, v := range vs {
+		idx[v] = i
+		old[i] = v
+	}
+	var pairs []int
+	for _, v := range vs {
+		for _, w := range p.adj[v] {
+			if j, ok := idx[w]; ok && idx[v] < j {
+				pairs = append(pairs, idx[v], j)
+			}
+		}
+	}
+	return New(p.Name+"-induced", len(vs), pairs...), old
+}
+
+// MaxCliqueSize returns the size of the largest clique in the pattern
+// (exponential search; patterns are tiny). Used to reproduce the
+// paper's observation that q1,q3,q6,q7,q8 have no clique larger than
+// an edge while q2,q4,q5 contain triangles.
+func (p *Pattern) MaxCliqueSize() int {
+	best := 0
+	var grow func(clique []VertexID, cand []VertexID)
+	grow = func(clique, cand []VertexID) {
+		if len(clique) > best {
+			best = len(clique)
+		}
+		for i, v := range cand {
+			// Candidates after v that are adjacent to v.
+			var next []VertexID
+			for _, w := range cand[i+1:] {
+				if p.HasEdge(v, w) {
+					next = append(next, w)
+				}
+			}
+			grow(append(clique, v), next)
+		}
+	}
+	all := make([]VertexID, p.n)
+	for i := range all {
+		all[i] = VertexID(i)
+	}
+	grow(nil, all)
+	return best
+}
+
+func (p *Pattern) String() string {
+	return fmt.Sprintf("%s(n=%d, m=%d)", p.Name, p.n, p.NumEdges())
+}

@@ -1,0 +1,170 @@
+package pattern
+
+import (
+	"testing"
+)
+
+func TestBasicAccessors(t *testing.T) {
+	p := Triangle()
+	if p.N() != 3 || p.NumEdges() != 3 {
+		t.Fatalf("triangle: n=%d m=%d", p.N(), p.NumEdges())
+	}
+	if !p.HasEdge(0, 1) || !p.HasEdge(2, 0) || p.HasEdge(0, 0) {
+		t.Error("HasEdge wrong")
+	}
+	if p.Degree(0) != 2 {
+		t.Errorf("Degree(0) = %d", p.Degree(0))
+	}
+	if len(p.Edges()) != 3 {
+		t.Errorf("Edges() = %v", p.Edges())
+	}
+}
+
+func TestNewDeduplicates(t *testing.T) {
+	p := New("dup", 2, 0, 1, 1, 0)
+	if p.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", p.NumEdges())
+	}
+}
+
+func TestNewPanicsOnBadEdge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New("bad", 2, 0, 5)
+}
+
+func TestIsConnected(t *testing.T) {
+	if !Triangle().IsConnected() {
+		t.Error("triangle should be connected")
+	}
+	if New("disc", 4, 0, 1, 2, 3).IsConnected() {
+		t.Error("two disjoint edges should not be connected")
+	}
+}
+
+func TestSpanAndDiameter(t *testing.T) {
+	// Path u0-u1-u2-u3: span(u0)=3, span(u1)=2, diameter 3.
+	p := New("path4", 4, 0, 1, 1, 2, 2, 3)
+	if got := p.Span(0); got != 3 {
+		t.Errorf("Span(0) = %d, want 3", got)
+	}
+	if got := p.Span(1); got != 2 {
+		t.Errorf("Span(1) = %d, want 2", got)
+	}
+	if got := p.Diameter(); got != 3 {
+		t.Errorf("Diameter = %d, want 3", got)
+	}
+}
+
+func TestSpanMatchesFig4Discussion(t *testing.T) {
+	// Section 4.2's example needs two pivot candidates with spans 2 and
+	// 3; our reconstruction of that idea: on path4, middle beats end.
+	p := New("path5", 5, 0, 1, 1, 2, 2, 3, 3, 4)
+	if p.Span(2) >= p.Span(0) {
+		t.Errorf("middle span %d should beat end span %d", p.Span(2), p.Span(0))
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	p := RunningExample()
+	sub, old := p.InducedSubgraph([]VertexID{0, 1, 2, 7})
+	if sub.N() != 4 {
+		t.Fatalf("n = %d", sub.N())
+	}
+	// Induced edges among {u0,u1,u2,u7}: (0,1),(0,2),(0,7),(1,2).
+	if sub.NumEdges() != 4 {
+		t.Errorf("induced edges = %d, want 4", sub.NumEdges())
+	}
+	if old[0] != 0 || old[3] != 7 {
+		t.Errorf("old mapping = %v", old)
+	}
+}
+
+func TestMaxCliqueSize(t *testing.T) {
+	cases := []struct {
+		p    *Pattern
+		want int
+	}{
+		{Triangle(), 3},
+		{New("edge", 2, 0, 1), 2},
+		{ByName("cq1"), 4},
+		{ByName("cq4"), 5},
+		{ByName("q1"), 2},
+		{ByName("q6"), 2},
+		{ByName("q8"), 2},
+	}
+	for _, c := range cases {
+		if got := c.p.MaxCliqueSize(); got != c.want {
+			t.Errorf("%s: MaxCliqueSize = %d, want %d", c.p.Name, got, c.want)
+		}
+	}
+}
+
+func TestQuerySetHonoursPaperConstraints(t *testing.T) {
+	qs := QuerySet()
+	if len(qs) != 8 {
+		t.Fatalf("|QuerySet| = %d, want 8", len(qs))
+	}
+	triangleFree := map[string]bool{"q1": true, "q3": true, "q6": true, "q7": true, "q8": true}
+	for _, q := range qs {
+		if !q.IsConnected() {
+			t.Errorf("%s not connected", q.Name)
+		}
+		mc := q.MaxCliqueSize()
+		if triangleFree[q.Name] && mc > 2 {
+			t.Errorf("%s must be triangle-free, max clique %d", q.Name, mc)
+		}
+		if !triangleFree[q.Name] && mc < 3 {
+			t.Errorf("%s must contain a triangle", q.Name)
+		}
+	}
+	// q2/q4/q5: triangle specifically on (u0,u1,u2).
+	for _, name := range []string{"q2", "q4", "q5"} {
+		q := ByName(name)
+		if !(q.HasEdge(0, 1) && q.HasEdge(1, 2) && q.HasEdge(0, 2)) {
+			t.Errorf("%s: (u0,u1,u2) is not a triangle", name)
+		}
+	}
+	// q5 = q4 + end vertex u5 (degree 1).
+	if ByName("q5").Degree(5) != 1 {
+		t.Error("q5's u5 must be an end vertex")
+	}
+	// Sizes reach 6 by q5.
+	if ByName("q5").N() < 6 {
+		t.Error("q5 must have >= 6 vertices")
+	}
+}
+
+func TestCliqueQuerySetAllHaveCliques(t *testing.T) {
+	for _, q := range CliqueQuerySet() {
+		if q.MaxCliqueSize() < 3 {
+			t.Errorf("%s has no clique (max %d)", q.Name, q.MaxCliqueSize())
+		}
+		if !q.IsConnected() {
+			t.Errorf("%s not connected", q.Name)
+		}
+	}
+}
+
+func TestRunningExampleStructure(t *testing.T) {
+	p := RunningExample()
+	if p.N() != 10 || p.NumEdges() != 14 {
+		t.Fatalf("fig2: n=%d m=%d, want 10/14", p.N(), p.NumEdges())
+	}
+	if !p.IsConnected() {
+		t.Fatal("fig2 must be connected")
+	}
+	// Example 3 cross-unit edge.
+	if !p.HasEdge(4, 5) {
+		t.Error("fig2 must contain (u4,u5)")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if ByName("nope") != nil {
+		t.Error("ByName should return nil for unknown queries")
+	}
+}

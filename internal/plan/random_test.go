@@ -1,0 +1,177 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"rads/internal/pattern"
+)
+
+// randomConnectedPattern builds a random connected pattern with 3..8
+// vertices: a random spanning tree plus random extra edges.
+func randomConnectedPattern(rng *rand.Rand) *pattern.Pattern {
+	n := 3 + rng.Intn(6)
+	var pairs []int
+	for v := 1; v < n; v++ {
+		pairs = append(pairs, v, rng.Intn(v)) // random tree
+	}
+	extra := rng.Intn(n)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			pairs = append(pairs, u, v)
+		}
+	}
+	return pattern.New("rnd", n, pairs...)
+}
+
+// TestComputeOnRandomPatterns checks the full planner contract on a
+// few hundred random connected patterns: the plan validates under
+// Build's Definition 6/7 checks, has exactly c_P rounds, its matching
+// order is a permutation whose prefixes match the unit structure, and
+// its expansion edges form a spanning tree of the pattern.
+func TestComputeOnRandomPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		p := randomConnectedPattern(rng)
+		pl, err := Compute(p)
+		if err != nil {
+			t.Fatalf("pattern %d (%s): %v", i, p, err)
+		}
+		// Re-validating through Build exercises every plan invariant.
+		if _, err := Build(p, pl.Units); err != nil {
+			t.Fatalf("pattern %d: plan does not re-validate: %v", i, err)
+		}
+		min, err := MinimumRounds(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.NumRounds() != min {
+			t.Fatalf("pattern %d: %d rounds, c_P = %d", i, pl.NumRounds(), min)
+		}
+		// Matching order is a permutation.
+		seen := make([]bool, p.N())
+		for _, u := range pl.Order {
+			if seen[u] {
+				t.Fatalf("pattern %d: duplicate u%d in order", i, u)
+			}
+			seen[u] = true
+		}
+		if len(pl.Order) != p.N() {
+			t.Fatalf("pattern %d: order covers %d of %d", i, len(pl.Order), p.N())
+		}
+		// Expansion edges form a spanning tree.
+		var tree [][2]pattern.VertexID
+		for _, st := range pl.Star {
+			tree = append(tree, st...)
+		}
+		if len(tree) != p.N()-1 || !isSpanningTree(p.N(), tree) {
+			t.Fatalf("pattern %d: expansion edges are not a spanning tree", i)
+		}
+		// Every pattern edge is expansion, sibling or cross-unit —
+		// exactly once across the three classes.
+		classed := make(map[[2]pattern.VertexID]int)
+		note := func(es [][2]pattern.VertexID) {
+			for _, e := range es {
+				a, b := e[0], e[1]
+				if a > b {
+					a, b = b, a
+				}
+				classed[[2]pattern.VertexID{a, b}]++
+			}
+		}
+		for r := range pl.Units {
+			note(pl.Star[r])
+			note(pl.Sib[r])
+			note(pl.Cross[r])
+		}
+		if len(classed) != p.NumEdges() {
+			t.Fatalf("pattern %d: %d edges classified, pattern has %d",
+				i, len(classed), p.NumEdges())
+		}
+		for e, c := range classed {
+			if c != 1 {
+				t.Fatalf("pattern %d: edge %v classified %d times", i, e, c)
+			}
+		}
+	}
+}
+
+// TestPrefixesMatchUnits: after round i, exactly the vertices of
+// P_i have been matched, and they form a prefix of the order.
+func TestPrefixesMatchUnits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		p := randomConnectedPattern(rng)
+		pl, err := Compute(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matched := map[pattern.VertexID]bool{pl.Units[0].Piv: true}
+		for r, dp := range pl.Units {
+			for _, lf := range dp.LF {
+				matched[lf] = true
+			}
+			if len(matched) != pl.PrefixLen[r] {
+				t.Fatalf("round %d: %d matched, PrefixLen %d", r, len(matched), pl.PrefixLen[r])
+			}
+			for _, u := range pl.Order[:pl.PrefixLen[r]] {
+				if !matched[u] {
+					t.Fatalf("round %d: order prefix contains unmatched u%d", r, u)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomStarAndMinRoundAlwaysValid fuzzes the Figure 13 baseline
+// planners the same way.
+func TestRandomStarAndMinRoundAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		p := randomConnectedPattern(rng)
+		if rs, err := RandomStar(p, rng); err != nil {
+			t.Fatalf("RanS on %s: %v", p, err)
+		} else if _, err := Build(p, rs.Units); err != nil {
+			t.Fatalf("RanS plan invalid: %v", err)
+		}
+		rm, err := RandomMinRound(p, rng)
+		if err != nil {
+			t.Fatalf("RanM on %s: %v", p, err)
+		}
+		min, _ := MinimumRounds(p)
+		if rm.NumRounds() != min {
+			t.Fatalf("RanM rounds %d != c_P %d", rm.NumRounds(), min)
+		}
+	}
+}
+
+// TestScoreMonotonicWeighting: moving a verification edge to an
+// earlier round can only raise formula (3)'s score.
+func TestScoreMonotonicWeighting(t *testing.T) {
+	// Two hand-built plans for the same 4-cycle: verification edge in
+	// round 0 (sibling) versus round 1 (cross-unit).
+	c4 := pattern.New("c4", 4, 0, 1, 1, 2, 2, 3, 3, 0)
+	early, err := Build(c4, []Unit{
+		{Piv: 0, LF: []pattern.VertexID{1, 3}},
+		{Piv: 1, LF: []pattern.VertexID{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// early: round 1 leaf u2 has cross edge to u3 -> 1 verification
+	// edge in round 1; compare against a 3-round chain where the
+	// verification edge lands in round 2.
+	late, err := Build(c4, []Unit{
+		{Piv: 0, LF: []pattern.VertexID{1}},
+		{Piv: 1, LF: []pattern.VertexID{2}},
+		{Piv: 2, LF: []pattern.VertexID{3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.ScoreVerification() <= late.ScoreVerification() {
+		t.Errorf("early-verification plan scored %.3f, late %.3f",
+			early.ScoreVerification(), late.ScoreVerification())
+	}
+}

@@ -1,0 +1,393 @@
+// Package rads implements the paper's contribution: RADS, the Robust
+// Asynchronous Distributed Subgraph enumeration system (Section 3).
+//
+// Per machine, a run proceeds exactly as Figure 1 prescribes:
+//
+//  1. SM-E: candidates of the starting query vertex whose border
+//     distance is at least the vertex's span are enumerated entirely
+//     locally with the single-machine algorithm (Proposition 1).
+//  2. The remaining candidates are split into region groups by greedy
+//     proximity grouping under a memory estimate (Section 6, Alg. 3).
+//  3. Each region group runs R-Meef (Section 3.2, Alg. 4): one round
+//     per decomposition unit of the execution plan; each round expands
+//     cached embeddings through the unit (Alg. 1/2), batches fetchV
+//     requests for foreign pivots, batches verifyE requests for the
+//     edge verification index, and filters failed candidates from the
+//     embedding trie.
+//  4. After local region groups finish, the machine broadcasts checkR
+//     and steals work via shareR from the most loaded machine.
+//
+// Machines run concurrently and never exchange intermediate results —
+// only edge-verification bits and adjacency lists, which is the
+// paper's central design point.
+package rads
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rads/internal/cluster"
+	"rads/internal/graph"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+	"rads/internal/plan"
+)
+
+// Config tunes a RADS run. The zero value gives the paper's default
+// behaviour on an in-process transport.
+type Config struct {
+	// Plan overrides the Section 4 planner (used by the Figure 13
+	// RanS/RanM ablation). Nil computes the optimized plan.
+	Plan *plan.Plan
+	// Transport overrides the in-process transport (examples use TCP).
+	Transport cluster.Transport
+	// Metrics receives communication accounting; nil allocates one.
+	Metrics *cluster.Metrics
+	// Budget is the per-machine memory budget (Phi's source); nil is
+	// unlimited.
+	Budget *cluster.MemBudget
+	// GroupMemTarget is Phi, the estimated intermediate-result bytes
+	// one region group may occupy (Section 6). 0 derives it from the
+	// budget (a quarter of it) or falls back to 4 MiB.
+	GroupMemTarget int64
+
+	// DisableSME forces every candidate through the distributed path
+	// (ablation; Section 3.1 claims SM-E cuts cost).
+	DisableSME bool
+	// DisableEndVertexCounting materializes end vertices (degree-1
+	// query vertices) in the trie like any other vertex. By default
+	// they are deferred and counted per core embedding, reproducing
+	// the paper's Exp-3 observation: "RADS processes those end
+	// vertices last by simply enumerating the combinations without
+	// caching any results related to them." Setting OnEmbedding also
+	// disables the optimization, since callbacks need full embeddings.
+	DisableEndVertexCounting bool
+	// DisableCache drops fetched adjacency lists after every round
+	// (ablation; Section 3.2 claims caching slashes communication).
+	DisableCache bool
+	// RandomGrouping replaces proximity grouping with arbitrary
+	// fixed-size chunks (ablation for Section 6).
+	RandomGrouping bool
+	// DisableLoadBalancing turns off checkR/shareR work stealing.
+	DisableLoadBalancing bool
+
+	// OnEmbedding, if non-nil, receives every embedding found (f is
+	// indexed by query vertex and reused; copy to retain). It must be
+	// safe for concurrent calls from different machines.
+	OnEmbedding func(machine int, f []graph.VertexID)
+}
+
+// Result reports everything the paper's experiments measure.
+type Result struct {
+	Total       int64 // embeddings found (SME + Distributed)
+	SME         int64 // found by single-machine enumeration
+	Distributed int64 // found by R-Meef rounds
+
+	Elapsed        time.Duration
+	MachineElapsed []time.Duration
+
+	CommBytes    int64
+	CommMessages int64
+
+	// Compression accounting (Tables 3 and 4): cumulative bytes the
+	// intermediate results would occupy as plain embedding lists (EL)
+	// versus in the embedding trie (ET), summed over rounds, groups and
+	// machines; plus concurrent peaks.
+	ELBytesCum, ETBytesCum   int64
+	ELBytesPeak, ETBytesPeak int64
+
+	PeakMemBytes int64 // budget high-water mark (max over machines)
+
+	RegionGroups int // total region groups formed
+	StolenGroups int // groups processed via shareR
+	Rounds       int // rounds per region group (= plan units)
+
+	// DeferredEnds is the number of end vertices the run counted by
+	// combination instead of materializing (0 when the optimization
+	// was off or the pattern has no free end vertices).
+	DeferredEnds int
+}
+
+// Run enumerates p in the partitioned data graph and returns aggregate
+// results. It is the public entry point of the RADS system.
+func Run(part *partition.Partition, p *pattern.Pattern, cfg Config) (*Result, error) {
+	eng, err := newEngine(part, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.run()
+}
+
+type engine struct {
+	g    *graph.Graph
+	part *partition.Partition
+	p    *pattern.Pattern
+	pl   *plan.Plan
+	cfg  Config
+
+	cons    []pattern.OrderConstraint
+	metrics *cluster.Metrics
+	tr      cluster.Transport
+	ownTr   bool // we created the transport and must close it
+
+	// End-vertex counting (the paper's Exp-3 "end vertices"
+	// optimization): degree-1 non-pivot query vertices are removed
+	// from trie materialization and counted per core embedding.
+	deferred  []pattern.VertexID // deferred vertices, in matching order
+	defPiv    []pattern.VertexID // sole pattern neighbour of deferred[i]
+	defCons   [][]posCons        // symmetry constraints checked at count time
+	redOrder  []pattern.VertexID // matching order minus deferred vertices
+	redPos    []int              // position in redOrder; -1 for deferred
+	redPrefix []int              // reduced |V_{P_i}| per round
+
+	// Precomputed per reduced-order position j (query vertex
+	// redOrder[j]): the earlier-matched query vertices connected to it
+	// by verification (sibling or cross-unit) edges, and the symmetry
+	// constraints against earlier positions.
+	verif [][]pattern.VertexID
+	cons2 [][]posCons
+
+	// unitLeaves[i] = non-deferred leaves of unit i in matching order.
+	unitLeaves [][]pattern.VertexID
+
+	machines []*machine
+}
+
+type posCons struct {
+	other pattern.VertexID
+	less  bool // require f[this] < f[other]
+}
+
+func newEngine(part *partition.Partition, p *pattern.Pattern, cfg Config) (*engine, error) {
+	if !p.IsConnected() {
+		return nil, fmt.Errorf("rads: pattern %s is not connected", p.Name)
+	}
+	pl := cfg.Plan
+	if pl == nil {
+		var err error
+		pl, err = plan.Compute(p)
+		if err != nil {
+			return nil, fmt.Errorf("rads: planning %s: %w", p.Name, err)
+		}
+	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = cluster.NewMetrics(part.M)
+	}
+	eng := &engine{
+		g:       part.G,
+		part:    part,
+		p:       p,
+		pl:      pl,
+		cfg:     cfg,
+		cons:    p.SymmetryBreaking(),
+		metrics: metrics,
+		tr:      cfg.Transport,
+	}
+	if eng.tr == nil {
+		eng.tr = cluster.NewLocalTransport(metrics)
+		eng.ownTr = true
+	}
+	eng.precompute()
+	for t := 0; t < part.M; t++ {
+		m := newMachine(eng, t)
+		eng.machines = append(eng.machines, m)
+		eng.tr.Register(t, m.handle)
+	}
+	return eng, nil
+}
+
+// precompute derives the reduced matching order (end-vertex deferral),
+// verification structure, symmetry-constraint placement and per-unit
+// leaf lists from the plan.
+func (e *engine) precompute() {
+	n := e.p.N()
+
+	// pivOf[u] = pivot of the unit where u appears as a leaf; the edge
+	// (pivOf[u], u) is u's expansion edge and is excluded from
+	// verification (candidates come from the pivot's adjacency list).
+	pivOf := make([]pattern.VertexID, n)
+	isPivot := make([]bool, n)
+	for _, dp := range e.pl.Units {
+		isPivot[dp.Piv] = true
+		for _, lf := range dp.LF {
+			pivOf[lf] = dp.Piv
+		}
+	}
+
+	// Deferral set: degree-1 non-pivot query vertices. Their only edge
+	// is the expansion edge, so once the core embedding is fixed their
+	// matches are a pure combination count over the pivot's
+	// neighbourhood (minus used vertices and symmetry violations).
+	isDeferred := make([]bool, n)
+	if e.cfg.OnEmbedding == nil && !e.cfg.DisableEndVertexCounting {
+		for _, u := range e.pl.Order {
+			if e.p.Degree(u) == 1 && !isPivot[u] {
+				isDeferred[u] = true
+				e.deferred = append(e.deferred, u)
+				e.defPiv = append(e.defPiv, pivOf[u])
+			}
+		}
+	}
+	defIdx := make([]int, n)
+	for i := range defIdx {
+		defIdx[i] = -1
+	}
+	for i, d := range e.deferred {
+		defIdx[d] = i
+	}
+
+	// Reduced order and positions.
+	e.redPos = make([]int, n)
+	for i := range e.redPos {
+		e.redPos[i] = -1
+	}
+	for _, u := range e.pl.Order {
+		if !isDeferred[u] {
+			e.redPos[u] = len(e.redOrder)
+			e.redOrder = append(e.redOrder, u)
+		}
+	}
+	e.redPrefix = make([]int, len(e.pl.Units))
+	for i := range e.pl.Units {
+		full := e.pl.PrefixLen[i]
+		red := 0
+		for _, u := range e.pl.Order[:full] {
+			if !isDeferred[u] {
+				red++
+			}
+		}
+		e.redPrefix[i] = red
+	}
+
+	// Verification edges over the reduced order.
+	e.verif = make([][]pattern.VertexID, len(e.redOrder))
+	e.cons2 = make([][]posCons, len(e.redOrder))
+	for j, u := range e.redOrder {
+		if j == 0 {
+			continue
+		}
+		for _, w := range e.p.Adj(u) {
+			if e.redPos[w] >= 0 && e.redPos[w] < j && w != pivOf[u] {
+				e.verif[j] = append(e.verif[j], w)
+			}
+		}
+	}
+
+	// Symmetry constraints: between two core vertices they apply at
+	// the later reduced position; any constraint touching a deferred
+	// vertex is checked at count time, attached to the later deferred
+	// endpoint (core values are all fixed by then).
+	e.defCons = make([][]posCons, len(e.deferred))
+	addDef := func(d pattern.VertexID, c posCons) {
+		i := defIdx[d]
+		e.defCons[i] = append(e.defCons[i], c)
+	}
+	for _, c := range e.cons {
+		dl, dg := defIdx[c.Less], defIdx[c.Greater]
+		switch {
+		case dl < 0 && dg < 0:
+			// Core-core: attach to the later reduced position.
+			pl, pg := e.redPos[c.Less], e.redPos[c.Greater]
+			if pl > pg {
+				e.cons2[pl] = append(e.cons2[pl], posCons{other: c.Greater, less: true})
+			} else {
+				e.cons2[pg] = append(e.cons2[pg], posCons{other: c.Less, less: false})
+			}
+		case dl >= 0 && dg >= 0:
+			// Both deferred: attach to the later deferred index.
+			if dl > dg {
+				addDef(c.Less, posCons{other: c.Greater, less: true})
+			} else {
+				addDef(c.Greater, posCons{other: c.Less, less: false})
+			}
+		case dl >= 0:
+			addDef(c.Less, posCons{other: c.Greater, less: true})
+		default:
+			addDef(c.Greater, posCons{other: c.Less, less: false})
+		}
+	}
+
+	e.unitLeaves = make([][]pattern.VertexID, len(e.pl.Units))
+	for i, dp := range e.pl.Units {
+		var leaves []pattern.VertexID
+		for _, lf := range dp.LF {
+			if !isDeferred[lf] {
+				leaves = append(leaves, lf)
+			}
+		}
+		// Order leaves by matching-order position.
+		for a := 1; a < len(leaves); a++ {
+			for b := a; b > 0 && e.pl.Pos[leaves[b]] < e.pl.Pos[leaves[b-1]]; b-- {
+				leaves[b], leaves[b-1] = leaves[b-1], leaves[b]
+			}
+		}
+		e.unitLeaves[i] = leaves
+	}
+}
+
+func (e *engine) groupMemTarget() int64 {
+	if e.cfg.GroupMemTarget > 0 {
+		return e.cfg.GroupMemTarget
+	}
+	if e.cfg.Budget != nil && e.cfg.Budget.Limit() > 0 {
+		// Conservative: the Section 6 estimate is approximate, so leave
+		// ample headroom between one group's estimate and the budget.
+		return e.cfg.Budget.Limit() / 8
+	}
+	return 4 << 20
+}
+
+func (e *engine) run() (*Result, error) {
+	if e.ownTr {
+		defer e.tr.Close()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(e.machines))
+	for i, m := range e.machines {
+		wg.Add(1)
+		go func(i int, m *machine) {
+			defer wg.Done()
+			errs[i] = m.run()
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{
+		Elapsed:      time.Since(start),
+		CommBytes:    e.metrics.TotalBytes(),
+		CommMessages: e.metrics.TotalMessages(),
+		Rounds:       e.pl.NumRounds(),
+		DeferredEnds: len(e.deferred),
+	}
+	for _, m := range e.machines {
+		res.Total += m.smeCount + m.distCount
+		res.SME += m.smeCount
+		res.Distributed += m.distCount
+		res.MachineElapsed = append(res.MachineElapsed, m.elapsed)
+		res.ELBytesCum += m.elCum
+		res.ETBytesCum += m.etCum
+		if m.elPeak > res.ELBytesPeak {
+			res.ELBytesPeak = m.elPeak
+		}
+		if m.etPeak > res.ETBytesPeak {
+			res.ETBytesPeak = m.etPeak
+		}
+		res.RegionGroups += m.groupsFormed
+		res.StolenGroups += m.groupsStolen
+	}
+	if e.cfg.Budget != nil {
+		res.PeakMemBytes = e.cfg.Budget.MaxPeak()
+	}
+	return res, nil
+}
+
+// ErrAborted wraps machine-level failures with their machine ID.
+var ErrAborted = errors.New("rads: machine aborted")

@@ -1,0 +1,467 @@
+package rads
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rads/internal/cluster"
+	"rads/internal/graph"
+	"rads/internal/localenum"
+)
+
+// machine is one worker of the simulated cluster: it owns a partition,
+// runs SM-E then R-Meef over its region groups, serves daemon requests
+// from other machines, and steals work when idle.
+type machine struct {
+	e  *engine
+	id int
+
+	view *view // local-knowledge discipline: own partition + cache
+
+	queue *groupQueue // unprocessed region groups (shared with daemon)
+
+	// Results.
+	smeCount  int64
+	distCount int64
+	elapsed   time.Duration
+
+	// Compression accounting.
+	elCum, etCum   int64
+	elPeak, etPeak int64
+
+	groupsFormed int
+	groupsStolen int
+
+	// Memory-estimate sample from SM-E (Section 6): average embedding
+	// trie nodes per processed candidate.
+	avgNodesPerCandidate float64
+
+	chargedTrie int64 // budget bytes currently charged for the trie
+}
+
+func newMachine(e *engine, id int) *machine {
+	return &machine{
+		e:     e,
+		id:    id,
+		view:  newView(e, id),
+		queue: newGroupQueue(),
+	}
+}
+
+// handle is the daemon thread: it serves the four request kinds of
+// Section 3.1 concurrently with the machine's own enumeration.
+func (m *machine) handle(from int, req cluster.Message) (cluster.Message, error) {
+	switch r := req.(type) {
+	case *cluster.VerifyERequest:
+		exists := make([]bool, len(r.Edges))
+		for i, e := range r.Edges {
+			if m.e.part.Owner[e.U] != int32(m.id) && m.e.part.Owner[e.V] != int32(m.id) {
+				return nil, fmt.Errorf("machine %d asked to verify foreign edge %v", m.id, e)
+			}
+			exists[i] = m.e.g.HasEdge(e.U, e.V)
+		}
+		return &cluster.VerifyEResponse{Exists: exists}, nil
+	case *cluster.FetchVRequest:
+		adj := make([][]graph.VertexID, len(r.Vertices))
+		for i, v := range r.Vertices {
+			if m.e.part.Owner[v] != int32(m.id) {
+				return nil, fmt.Errorf("machine %d asked to fetch foreign vertex %d", m.id, v)
+			}
+			adj[i] = m.e.g.Adj(v)
+		}
+		return &cluster.FetchVResponse{Adj: adj}, nil
+	case *cluster.CheckRRequest:
+		return &cluster.CheckRResponse{Unprocessed: m.queue.Len()}, nil
+	case *cluster.ShareRRequest:
+		if g, ok := m.queue.Pop(); ok {
+			return &cluster.ShareRResponse{OK: true, Group: g}, nil
+		}
+		return &cluster.ShareRResponse{OK: false}, nil
+	default:
+		return nil, fmt.Errorf("machine %d: unknown request %T", m.id, req)
+	}
+}
+
+func (m *machine) run() (err error) {
+	defer func() {
+		if err != nil {
+			err = fmt.Errorf("%w: machine %d: %w", ErrAborted, m.id, err)
+		}
+	}()
+	start := time.Now()
+	defer func() { m.elapsed = time.Since(start) }()
+
+	ustart := m.e.pl.Units[0].Piv
+	span := m.e.p.Span(ustart)
+
+	// Candidate set of the starting query vertex on this machine.
+	var cands []graph.VertexID
+	for _, v := range m.e.part.Vertices(m.id) {
+		if m.e.g.Degree(v) >= m.e.p.Degree(ustart) {
+			cands = append(cands, v)
+		}
+	}
+
+	// Split into C1 (single-machine) and the rest by border distance
+	// (Proposition 1).
+	var c1, c2 []graph.VertexID
+	if m.e.cfg.DisableSME {
+		c2 = cands
+	} else {
+		bd := m.e.part.BorderDistances(m.id)
+		for _, v := range cands {
+			if int(bd[v]) >= span {
+				c1 = append(c1, v)
+			} else {
+				c2 = append(c2, v)
+			}
+		}
+	}
+
+	// SM-E (Section 3.1), one candidate at a time so the per-candidate
+	// trie-cost samples feed the Section 6 memory estimator.
+	if len(c1) > 0 {
+		if err := m.runSME(c1); err != nil {
+			return err
+		}
+	}
+
+	// Region groups (Section 6).
+	target := m.e.groupMemTarget()
+	var groups [][]graph.VertexID
+	if m.e.cfg.RandomGrouping {
+		groups = chunkGroups(c2, m.groupSizeFor(target))
+	} else {
+		groups = proximityGroups(m.e.g, c2, m.estBytes, target)
+	}
+	m.groupsFormed = len(groups)
+	m.queue.Fill(groups)
+
+	// Process own groups; the daemon may give some of them away.
+	for {
+		g, ok := m.queue.Pop()
+		if !ok {
+			break
+		}
+		if err := m.processGroup(g); err != nil {
+			return err
+		}
+	}
+
+	// Work stealing (Section 3.1 checkR/shareR).
+	if !m.e.cfg.DisableLoadBalancing {
+		if err := m.stealLoop(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSME enumerates every C1 candidate with the single-machine
+// algorithm, restricted to vertices this machine owns.
+func (m *machine) runSME(c1 []graph.VertexID) error {
+	owned := func(v graph.VertexID) bool { return m.e.part.Owner[v] == int32(m.id) }
+	var totalNodes int64
+	for _, v := range c1 {
+		st := localenum.Enumerate(m.e.g, m.e.p, localenum.Options{
+			Order:           m.e.pl.Order,
+			Constraints:     m.e.cons,
+			Allowed:         owned,
+			StartCandidates: []graph.VertexID{v},
+		}, func(f []graph.VertexID) bool {
+			m.smeCount++
+			if m.e.cfg.OnEmbedding != nil {
+				m.e.cfg.OnEmbedding(m.id, f)
+			}
+			return true
+		})
+		totalNodes += st.TreeNodes
+	}
+	if len(c1) > 0 {
+		m.avgNodesPerCandidate = float64(totalNodes) / float64(len(c1))
+	}
+	return nil
+}
+
+// estBytes estimates the intermediate-result bytes of the results
+// originated from one candidate vertex (Section 6, "Estimating memory
+// usage"): the average trie-node count sampled during SM-E times the
+// accounted node size, scaled by the candidate's degree relative to
+// the graph average. The degree scaling is our refinement of the
+// paper's flat average: on skewed graphs a hub candidate spawns far
+// more intermediate results than the mean, and a flat estimate packs
+// hubs into oversized region groups that blow the memory budget.
+func (m *machine) estBytes(v graph.VertexID) int64 {
+	avg := m.avgNodesPerCandidate
+	if avg <= 0 {
+		avg = 256 // no SM-E sample (DisableSME or empty C1): coarse default
+	}
+	est := avg * float64(trieNodeBytes)
+	if ad := m.e.g.AvgDegree(); ad > 0 && v >= 0 {
+		skew := float64(m.e.g.Degree(v)) / ad
+		if skew > 1 {
+			// Results grow super-linearly in the pivot degree; square
+			// the skew but cap it to keep groups from degenerating.
+			skew *= skew
+			if skew > 256 {
+				skew = 256
+			}
+			est *= skew
+		}
+	}
+	return int64(est)
+}
+
+func (m *machine) groupSizeFor(target int64) int {
+	per := m.estBytes(-1) // flat estimate: random grouping has no locality
+	n := int(target / per)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// stealLoop implements the load balancer: broadcast checkR, steal one
+// group from the machine with the most unprocessed groups, repeat
+// until every machine reports zero.
+func (m *machine) stealLoop() error {
+	for {
+		bestMachine, bestLoad := -1, 0
+		for t := 0; t < m.e.part.M; t++ {
+			if t == m.id {
+				continue
+			}
+			resp, err := m.e.tr.Call(m.id, t, &cluster.CheckRRequest{})
+			if err != nil {
+				return fmt.Errorf("checkR to %d: %w", t, err)
+			}
+			if n := resp.(*cluster.CheckRResponse).Unprocessed; n > bestLoad {
+				bestMachine, bestLoad = t, n
+			}
+		}
+		if bestMachine < 0 {
+			return nil // cluster drained
+		}
+		resp, err := m.e.tr.Call(m.id, bestMachine, &cluster.ShareRRequest{})
+		if err != nil {
+			return fmt.Errorf("shareR to %d: %w", bestMachine, err)
+		}
+		sr := resp.(*cluster.ShareRResponse)
+		if !sr.OK {
+			continue // lost the race; re-check
+		}
+		m.groupsStolen++
+		if err := m.processGroup(sr.Group); err != nil {
+			return err
+		}
+	}
+}
+
+// --- region grouping (Section 6, Algorithm 3) ---
+
+// proximityGroups partitions candidates into region groups: greedily
+// grow each group by the candidate with the highest proximity
+// (fraction of its neighbours adjacent to the group) until the
+// estimated memory phi(rg) would exceed the target.
+func proximityGroups(g *graph.Graph, cands []graph.VertexID, est func(graph.VertexID) int64, target int64) [][]graph.VertexID {
+	remaining := make(map[graph.VertexID]bool, len(cands))
+	for _, v := range cands {
+		remaining[v] = true
+	}
+	var groups [][]graph.VertexID
+	// Deterministic iteration: process candidates in sorted order.
+	sorted := append([]graph.VertexID(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for _, seed := range sorted {
+		if !remaining[seed] {
+			continue
+		}
+		delete(remaining, seed)
+		rg := []graph.VertexID{seed}
+		phi := est(seed)
+		// adjSet: union of neighbours of the group.
+		adjSet := make(map[graph.VertexID]bool)
+		// frontier[v] = |adj(v) ∩ adjSet| for remaining candidates near
+		// the group; updated incrementally as the group grows.
+		frontier := make(map[graph.VertexID]int)
+		grow := func(w graph.VertexID) {
+			for _, x := range g.Adj(w) {
+				if adjSet[x] {
+					continue
+				}
+				adjSet[x] = true
+				for _, y := range g.Adj(x) {
+					if remaining[y] {
+						frontier[y]++
+					}
+				}
+			}
+		}
+		grow(seed)
+		for phi < target {
+			// argmax proximity over the frontier.
+			best, bestScore := graph.VertexID(-1), -1.0
+			for v, c := range frontier {
+				score := float64(c) / float64(len(g.Adj(v)))
+				if score > bestScore || (score == bestScore && v < best) {
+					best, bestScore = v, score
+				}
+			}
+			if best < 0 {
+				break // no candidate within distance 2 of the group
+			}
+			cost := est(best)
+			if phi+cost > target {
+				break // Alg. 3 line 8-9: would overflow; leave it for later
+			}
+			delete(remaining, best)
+			delete(frontier, best)
+			rg = append(rg, best)
+			phi += cost
+			grow(best)
+		}
+		groups = append(groups, rg)
+	}
+	return groups
+}
+
+// chunkGroups is the RandomGrouping ablation: fixed-size chunks with no
+// locality.
+func chunkGroups(cands []graph.VertexID, size int) [][]graph.VertexID {
+	var groups [][]graph.VertexID
+	for len(cands) > 0 {
+		n := size
+		if n > len(cands) {
+			n = len(cands)
+		}
+		groups = append(groups, cands[:n])
+		cands = cands[n:]
+	}
+	return groups
+}
+
+// --- group queue (shared between the machine loop and its daemon) ---
+
+type groupQueue struct {
+	mu     chan struct{} // 1-buffered channel used as a mutex
+	groups [][]graph.VertexID
+}
+
+func newGroupQueue() *groupQueue {
+	q := &groupQueue{mu: make(chan struct{}, 1)}
+	q.mu <- struct{}{}
+	return q
+}
+
+func (q *groupQueue) Fill(groups [][]graph.VertexID) {
+	<-q.mu
+	q.groups = append(q.groups, groups...)
+	q.mu <- struct{}{}
+}
+
+func (q *groupQueue) Pop() ([]graph.VertexID, bool) {
+	<-q.mu
+	defer func() { q.mu <- struct{}{} }()
+	if len(q.groups) == 0 {
+		return nil, false
+	}
+	g := q.groups[len(q.groups)-1]
+	q.groups = q.groups[:len(q.groups)-1]
+	return g, true
+}
+
+func (q *groupQueue) Len() int {
+	<-q.mu
+	defer func() { q.mu <- struct{}{} }()
+	return len(q.groups)
+}
+
+// --- local-knowledge view ---
+
+// view enforces the distribution discipline: a machine may read the
+// adjacency list of a vertex only if it owns it or has fetched it.
+type view struct {
+	e     *engine
+	id    int
+	cache map[graph.VertexID][]graph.VertexID
+}
+
+func newView(e *engine, id int) *view {
+	return &view{e: e, id: id, cache: make(map[graph.VertexID][]graph.VertexID)}
+}
+
+func (v *view) owned(x graph.VertexID) bool { return v.e.part.Owner[x] == int32(v.id) }
+
+func (v *view) cached(x graph.VertexID) bool {
+	_, ok := v.cache[x]
+	return ok
+}
+
+// adjKnown returns the adjacency list of x if locally determinable.
+func (v *view) adjKnown(x graph.VertexID) ([]graph.VertexID, bool) {
+	if v.owned(x) {
+		return v.e.g.Adj(x), true
+	}
+	if a, ok := v.cache[x]; ok {
+		return a, true
+	}
+	return nil, false
+}
+
+// mustAdj returns the adjacency list of x, which the caller has
+// guaranteed is local or fetched; it panics otherwise, catching any
+// violation of the distribution discipline.
+func (v *view) mustAdj(x graph.VertexID) []graph.VertexID {
+	a, ok := v.adjKnown(x)
+	if !ok {
+		panic(fmt.Sprintf("rads: machine %d read unfetched foreign vertex %d", v.id, x))
+	}
+	return a
+}
+
+// edgeKnown reports (exists, determinable) for data edge (a,b) using
+// only local knowledge.
+func (v *view) edgeKnown(a, b graph.VertexID) (bool, bool) {
+	if adj, ok := v.adjKnown(a); ok {
+		return graph.ContainsSorted(adj, b), true
+	}
+	if adj, ok := v.adjKnown(b); ok {
+		return graph.ContainsSorted(adj, a), true
+	}
+	return false, false
+}
+
+// degreeAtLeast reports whether deg(x) >= d when determinable locally;
+// undeterminable vertices pass (the filter is only a pruning aid).
+func (v *view) degreeAtLeast(x graph.VertexID, d int) bool {
+	if a, ok := v.adjKnown(x); ok {
+		return len(a) >= d
+	}
+	return true
+}
+
+// insert caches a fetched adjacency list, charging the budget.
+func (v *view) insert(x graph.VertexID, adj []graph.VertexID) error {
+	if v.cached(x) {
+		return nil
+	}
+	if err := v.e.cfg.Budget.Charge(v.id, cacheEntryBytes(adj)); err != nil {
+		return err
+	}
+	v.cache[x] = adj
+	return nil
+}
+
+// dropAll empties the cache (DisableCache ablation), releasing budget.
+func (v *view) dropAll() {
+	for x, adj := range v.cache {
+		v.e.cfg.Budget.Release(v.id, cacheEntryBytes(adj))
+		delete(v.cache, x)
+	}
+}
+
+func cacheEntryBytes(adj []graph.VertexID) int64 {
+	return int64(len(adj))*4 + 24
+}

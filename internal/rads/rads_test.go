@@ -1,0 +1,360 @@
+package rads
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"rads/internal/cluster"
+	"rads/internal/gen"
+	"rads/internal/graph"
+	"rads/internal/localenum"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+	"rads/internal/plan"
+)
+
+// oracleCount is the single-machine ground truth.
+func oracleCount(g *graph.Graph, p *pattern.Pattern) int64 {
+	return localenum.Count(g, p, localenum.Options{})
+}
+
+func runRADS(t *testing.T, g *graph.Graph, p *pattern.Pattern, m int, cfg Config) *Result {
+	t.Helper()
+	part := partition.KWay(g, m, 99)
+	res, err := Run(part, p, cfg)
+	if err != nil {
+		t.Fatalf("%s on %d machines: %v", p.Name, m, err)
+	}
+	return res
+}
+
+func TestTriangleMatchesOracle(t *testing.T) {
+	g := gen.Community(6, 12, 0.35, 1)
+	p := pattern.Triangle()
+	want := oracleCount(g, p)
+	if want == 0 {
+		t.Fatal("test graph has no triangles")
+	}
+	for _, m := range []int{1, 2, 3, 5} {
+		res := runRADS(t, g, p, m, Config{})
+		if res.Total != want {
+			t.Errorf("m=%d: Total = %d, want %d (SME=%d dist=%d)", m, res.Total, want, res.SME, res.Distributed)
+		}
+	}
+}
+
+func TestAllQueriesMatchOracleOnCommunityGraph(t *testing.T) {
+	g := gen.Community(5, 10, 0.35, 2)
+	for _, p := range append(pattern.QuerySet(), pattern.CliqueQuerySet()...) {
+		want := oracleCount(g, p)
+		res := runRADS(t, g, p, 3, Config{})
+		if res.Total != want {
+			t.Errorf("%s: Total = %d, want %d (SME=%d dist=%d)", p.Name, res.Total, want, res.SME, res.Distributed)
+		}
+	}
+}
+
+func TestAllQueriesMatchOracleOnRoadNet(t *testing.T) {
+	g := gen.RoadNet(12, 12, 4)
+	for _, p := range pattern.QuerySet() {
+		want := oracleCount(g, p)
+		res := runRADS(t, g, p, 4, Config{})
+		if res.Total != want {
+			t.Errorf("%s: Total = %d, want %d (SME=%d dist=%d)", p.Name, res.Total, want, res.SME, res.Distributed)
+		}
+	}
+}
+
+func TestPowerLawMatchesOracle(t *testing.T) {
+	g := gen.PowerLaw(300, 6, 2.5, 100, 5)
+	for _, name := range []string{"q1", "q2", "q4", "cq1", "cq3"} {
+		p := pattern.ByName(name)
+		want := oracleCount(g, p)
+		res := runRADS(t, g, p, 4, Config{})
+		if res.Total != want {
+			t.Errorf("%s: Total = %d, want %d (SME=%d dist=%d)", name, res.Total, want, res.SME, res.Distributed)
+		}
+	}
+}
+
+func TestRunningExamplePattern(t *testing.T) {
+	// The 10-vertex Figure 2 pattern on a clustered graph.
+	g := gen.Community(4, 12, 0.4, 7)
+	p := pattern.RunningExample()
+	want := oracleCount(g, p)
+	res := runRADS(t, g, p, 3, Config{})
+	if res.Total != want {
+		t.Errorf("fig2: Total = %d, want %d", res.Total, want)
+	}
+}
+
+func TestHashPartitionStillCorrect(t *testing.T) {
+	// Hash partitioning destroys locality (tiny C1, heavy traffic) but
+	// must not change results.
+	g := gen.Community(4, 10, 0.35, 9)
+	for _, name := range []string{"q2", "q4", "cq1"} {
+		p := pattern.ByName(name)
+		want := oracleCount(g, p)
+		part := partition.Hash(g, 4)
+		res, err := Run(part, p, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total != want {
+			t.Errorf("%s: Total = %d, want %d", name, res.Total, want)
+		}
+	}
+}
+
+func TestSingleMachineDoesEverythingViaSME(t *testing.T) {
+	// With m=1 there are no borders: every candidate is in C1.
+	g := gen.Community(3, 10, 0.4, 3)
+	p := pattern.ByName("q2")
+	res := runRADS(t, g, p, 1, Config{})
+	if res.Distributed != 0 {
+		t.Errorf("m=1: Distributed = %d, want 0", res.Distributed)
+	}
+	if res.CommBytes != 0 {
+		t.Errorf("m=1: CommBytes = %d, want 0", res.CommBytes)
+	}
+	if res.Total != oracleCount(g, p) {
+		t.Errorf("m=1: Total = %d", res.Total)
+	}
+}
+
+func TestDisableSMEStillCorrectAndCostsMore(t *testing.T) {
+	g := gen.RoadNet(14, 14, 8)
+	p := pattern.ByName("q1")
+	want := oracleCount(g, p)
+
+	withSME := runRADS(t, g, p, 3, Config{})
+	withoutSME := runRADS(t, g, p, 3, Config{DisableSME: true})
+	if withSME.Total != want || withoutSME.Total != want {
+		t.Fatalf("counts: with=%d without=%d want=%d", withSME.Total, withoutSME.Total, want)
+	}
+	if withSME.SME == 0 {
+		t.Error("road network should route most work through SM-E")
+	}
+	if withoutSME.SME != 0 {
+		t.Error("DisableSME must not run SM-E")
+	}
+	// C1 candidates generate no traffic even through R-Meef
+	// (Proposition 1: their embeddings never leave the machine), so
+	// communication can tie; the SM-E saving that must always show up
+	// is the intermediate-result volume, which the distributed path
+	// materializes round by round and SM-E never does.
+	if withoutSME.CommBytes < withSME.CommBytes {
+		t.Errorf("communication without SM-E should not shrink: with=%d without=%d", withSME.CommBytes, withoutSME.CommBytes)
+	}
+	if withoutSME.ETBytesCum <= withSME.ETBytesCum {
+		t.Errorf("SM-E should cut intermediate results: with=%d without=%d", withSME.ETBytesCum, withoutSME.ETBytesCum)
+	}
+}
+
+func TestDisableCacheStillCorrectAndCostsMore(t *testing.T) {
+	g := gen.Community(4, 10, 0.4, 11)
+	p := pattern.ByName("q4")
+	want := oracleCount(g, p)
+	cached := runRADS(t, g, p, 3, Config{DisableSME: true})
+	uncached := runRADS(t, g, p, 3, Config{DisableSME: true, DisableCache: true})
+	if cached.Total != want || uncached.Total != want {
+		t.Fatalf("counts: cached=%d uncached=%d want=%d", cached.Total, uncached.Total, want)
+	}
+	if uncached.CommBytes < cached.CommBytes {
+		t.Errorf("dropping the cache should not reduce communication: %d vs %d", uncached.CommBytes, cached.CommBytes)
+	}
+}
+
+func TestRegionGroupsBoundMemoryAndStayCorrect(t *testing.T) {
+	g := gen.Community(4, 12, 0.35, 13)
+	p := pattern.ByName("q4")
+	want := oracleCount(g, p)
+	// Tiny group target: many groups, same answer.
+	res := runRADS(t, g, p, 3, Config{GroupMemTarget: 1}) // 1 byte -> 1 candidate per group
+	if res.Total != want {
+		t.Errorf("Total = %d, want %d", res.Total, want)
+	}
+	if res.RegionGroups < 3 {
+		t.Errorf("expected many region groups, got %d", res.RegionGroups)
+	}
+	big := runRADS(t, g, p, 3, Config{GroupMemTarget: 1 << 30})
+	if big.Total != want {
+		t.Errorf("big groups Total = %d, want %d", big.Total, want)
+	}
+	if big.ETBytesPeak > 0 && res.ETBytesPeak > big.ETBytesPeak {
+		t.Errorf("small groups should not raise the trie peak: %d vs %d", res.ETBytesPeak, big.ETBytesPeak)
+	}
+}
+
+func TestRandomGroupingCorrect(t *testing.T) {
+	g := gen.Community(4, 10, 0.35, 17)
+	p := pattern.ByName("q2")
+	want := oracleCount(g, p)
+	res := runRADS(t, g, p, 3, Config{RandomGrouping: true, GroupMemTarget: 4096})
+	if res.Total != want {
+		t.Errorf("Total = %d, want %d", res.Total, want)
+	}
+}
+
+func TestPlanOverrideRanSAndRanM(t *testing.T) {
+	g := gen.Community(4, 10, 0.35, 19)
+	p := pattern.ByName("q5")
+	want := oracleCount(g, p)
+	for seed := int64(0); seed < 3; seed++ {
+		pl := mustRandomStar(t, p, seed)
+		res := runRADS(t, g, p, 3, Config{Plan: pl})
+		if res.Total != want {
+			t.Errorf("RanS seed %d: Total = %d, want %d", seed, res.Total, want)
+		}
+	}
+}
+
+func TestLoadBalancingStealsAndStaysCorrect(t *testing.T) {
+	// Force imbalance: one group per candidate and no SME, so fast
+	// machines steal from slow ones.
+	g := gen.Community(5, 10, 0.35, 23)
+	p := pattern.ByName("q2")
+	want := oracleCount(g, p)
+	res := runRADS(t, g, p, 4, Config{DisableSME: true, GroupMemTarget: 1})
+	if res.Total != want {
+		t.Errorf("Total = %d, want %d", res.Total, want)
+	}
+	noSteal := runRADS(t, g, p, 4, Config{DisableSME: true, GroupMemTarget: 1, DisableLoadBalancing: true})
+	if noSteal.Total != want {
+		t.Errorf("no-steal Total = %d, want %d", noSteal.Total, want)
+	}
+}
+
+func TestMemoryBudgetOOM(t *testing.T) {
+	g := gen.Community(4, 12, 0.5, 29)
+	p := pattern.ByName("q4")
+	// Absurdly small budget must fail with ErrOutOfMemory.
+	part := partition.KWay(g, 3, 99)
+	budget := cluster.NewMemBudget(3, 64)
+	_, err := Run(part, p, Config{Budget: budget, DisableSME: true, GroupMemTarget: 1 << 30})
+	if !errors.Is(err, cluster.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestMemoryBudgetRegionGroupsSurvive(t *testing.T) {
+	// The Section 7 robustness claim: under a budget that kills
+	// monolithic processing, small region groups finish the query.
+	g := gen.Community(4, 12, 0.5, 29)
+	p := pattern.ByName("q4")
+	want := oracleCount(g, p)
+	part := partition.KWay(g, 3, 99)
+
+	budget := cluster.NewMemBudget(3, 1<<20)
+	res, err := Run(part, p, Config{Budget: budget, GroupMemTarget: 32 << 10})
+	if err != nil {
+		t.Fatalf("budgeted run failed: %v", err)
+	}
+	if res.Total != want {
+		t.Errorf("Total = %d, want %d", res.Total, want)
+	}
+	if res.PeakMemBytes == 0 || res.PeakMemBytes > 1<<20 {
+		t.Errorf("PeakMemBytes = %d, want within budget", res.PeakMemBytes)
+	}
+}
+
+func TestOnEmbeddingDeliversRealEmbeddings(t *testing.T) {
+	g := gen.Community(3, 10, 0.4, 31)
+	p := pattern.ByName("q2")
+	var mu sync.Mutex
+	var got [][]graph.VertexID
+	res := runRADS(t, g, p, 3, Config{
+		OnEmbedding: func(machine int, f []graph.VertexID) {
+			mu.Lock()
+			got = append(got, append([]graph.VertexID(nil), f...))
+			mu.Unlock()
+		},
+	})
+	if int64(len(got)) != res.Total {
+		t.Fatalf("callback count %d != Total %d", len(got), res.Total)
+	}
+	for _, f := range got {
+		for _, e := range p.Edges() {
+			if !g.HasEdge(f[e[0]], f[e[1]]) {
+				t.Fatalf("non-embedding %v reported", f)
+			}
+		}
+	}
+	// All embeddings distinct.
+	sort.Slice(got, func(i, j int) bool {
+		for k := range got[i] {
+			if got[i][k] != got[j][k] {
+				return got[i][k] < got[j][k]
+			}
+		}
+		return false
+	})
+	for i := 1; i < len(got); i++ {
+		same := true
+		for k := range got[i] {
+			if got[i][k] != got[i-1][k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("duplicate embedding %v", got[i])
+		}
+	}
+}
+
+func TestCompressionAccountingPresent(t *testing.T) {
+	g := gen.Community(4, 12, 0.4, 37)
+	p := pattern.ByName("q4")
+	res := runRADS(t, g, p, 3, Config{DisableSME: true})
+	if res.ETBytesCum <= 0 || res.ELBytesCum <= 0 {
+		t.Fatalf("compression accounting missing: EL=%d ET=%d", res.ELBytesCum, res.ETBytesCum)
+	}
+	if res.ETBytesPeak <= 0 || res.ELBytesPeak <= 0 {
+		t.Fatalf("peaks missing: EL=%d ET=%d", res.ELBytesPeak, res.ETBytesPeak)
+	}
+}
+
+func TestTCPTransportEndToEnd(t *testing.T) {
+	g := gen.Community(3, 8, 0.4, 41)
+	p := pattern.Triangle()
+	want := oracleCount(g, p)
+	part := partition.KWay(g, 3, 99)
+	mt := cluster.NewMetrics(3)
+	tr, err := cluster.NewTCPTransport(3, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	res, err := Run(part, p, Config{Transport: tr, Metrics: mt, DisableSME: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != want {
+		t.Errorf("TCP Total = %d, want %d", res.Total, want)
+	}
+	if res.CommBytes == 0 {
+		t.Error("TCP run should have network traffic with SME disabled")
+	}
+}
+
+func TestDisconnectedPatternRejected(t *testing.T) {
+	g := gen.Grid(3, 3)
+	part := partition.KWay(g, 2, 1)
+	bad := pattern.New("disc", 4, 0, 1, 2, 3)
+	if _, err := Run(part, bad, Config{}); err == nil {
+		t.Error("want error for disconnected pattern")
+	}
+}
+
+func mustRandomStar(t *testing.T, p *pattern.Pattern, seed int64) *plan.Plan {
+	t.Helper()
+	pl, err := plan.RandomStar(p, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}

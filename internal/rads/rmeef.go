@@ -1,0 +1,580 @@
+package rads
+
+import (
+	"fmt"
+	"sort"
+
+	"rads/internal/cluster"
+	"rads/internal/etrie"
+	"rads/internal/graph"
+	"rads/internal/pattern"
+)
+
+const trieNodeBytes = etrie.NodeBytes
+
+// groupState carries the per-region-group R-Meef state (Algorithm 4).
+type groupState struct {
+	trie *etrie.Trie
+	evi  *etrie.EVI
+
+	// created collects the EC leaves of the current flush segment: the
+	// results produced since the last verify & filter.
+	created []*etrie.Node
+
+	f    []graph.VertexID // partial embedding indexed by query vertex
+	used map[graph.VertexID]bool
+
+	// pending undetermined edges along the current adjEnum chain,
+	// stacked per recursion depth.
+	pending [][]graph.Edge
+
+	pathBuf []graph.VertexID
+
+	// flushNodes bounds the number of EC leaves a flush segment may
+	// accumulate before verification and deeper rounds run for it.
+	// This is the reproduction's extension of the Section 6 memory
+	// control below single-candidate granularity: a hub candidate whose
+	// one-round expansion would not fit in the group memory target is
+	// processed in several verify-filter-descend segments instead of
+	// materializing the whole round. 0 disables segmentation (the
+	// paper's plain per-round batching).
+	flushNodes int
+}
+
+// processGroup runs all R-Meef rounds for one region group.
+func (m *machine) processGroup(group []graph.VertexID) error {
+	e := m.e
+	st := &groupState{
+		trie: etrie.New(len(e.redOrder)),
+		evi:  etrie.NewEVI(),
+		f:    make([]graph.VertexID, e.p.N()),
+		used: make(map[graph.VertexID]bool, e.p.N()),
+	}
+	for i := range st.f {
+		st.f[i] = -1
+	}
+	if target := e.groupMemTarget(); target > 0 {
+		// Leave half the target as headroom for the segment being built.
+		st.flushNodes = int(target / (2 * trieNodeBytes))
+		if st.flushNodes < 1 {
+			st.flushNodes = 1
+		}
+	}
+
+	// Round 0: the frontier is the group's candidates of dp0.piv mapped
+	// as single-vertex partial embeddings. For stolen groups the
+	// candidates are foreign, so round 0 also prefetches them.
+	roots := make([]*etrie.Node, 0, len(group))
+	for _, v := range group {
+		root := st.trie.Node(nil, v)
+		st.trie.Link(root)
+		roots = append(roots, root)
+	}
+
+	if err := m.runRounds(st, 0, roots); err != nil {
+		return err
+	}
+
+	// Release the trie's budget charge; the group's results are done.
+	e.cfg.Budget.Release(m.id, m.chargedTrie)
+	m.chargedTrie = 0
+	return nil
+}
+
+// runRounds executes rounds round..l for the given frontier (live
+// results of P_{round-1}), in flush segments when memory pressure
+// demands it.
+func (m *machine) runRounds(st *groupState, round int, frontier []*etrie.Node) error {
+	e := m.e
+	if round == len(e.pl.Units) {
+		return m.emitResults(st, frontier)
+	}
+	if len(e.unitLeaves[round]) == 0 {
+		// Every leaf of this unit is a deferred end vertex: the results
+		// of P_round are exactly the results of P_{round-1}.
+		return m.runRounds(st, round+1, frontier)
+	}
+	if err := m.fetchForeignPivots(st, round, frontier); err != nil {
+		return err
+	}
+	if err := m.expandRound(st, round, frontier); err != nil {
+		return err
+	}
+	// End-of-round flush: verify and filter whatever the expansion
+	// produced since the last mid-round flush, then descend.
+	return m.flushSegment(st, round)
+}
+
+// flushSegment closes the current segment of round `round`: it
+// verifies the EVI, filters failed ECs, records stats, reconciles the
+// memory charge, and pushes the surviving ECs through the remaining
+// rounds. On return the segment's subtree has been fully resolved and
+// its memory released (final results are counted and removed as they
+// complete).
+func (m *machine) flushSegment(st *groupState, round int) error {
+	e := m.e
+	if err := m.verifyAndFilter(st); err != nil {
+		return err
+	}
+	next := make([]*etrie.Node, 0, len(st.created))
+	for _, n := range st.created {
+		if !n.Dead() {
+			next = append(next, n)
+		}
+	}
+	st.created = st.created[:0]
+
+	m.recordRoundStats(st, round, len(next))
+	if err := m.chargeTrie(st); err != nil {
+		return err
+	}
+	if e.cfg.DisableCache {
+		m.view.dropAll()
+	} else if b := e.cfg.Budget; b != nil && b.Limit() > 0 && b.Used(m.id) > b.Limit()*3/4 {
+		// The paper's cache-release valve: "when more data vertices
+		// need to be fetched, we may release some previously cached
+		// data vertices if necessary". Dropping the cache between
+		// rounds only costs re-fetches, never correctness.
+		m.view.dropAll()
+	}
+	if len(next) == 0 {
+		return nil
+	}
+	return m.runRounds(st, round+1, next)
+}
+
+// midFlush is flushSegment invoked from inside an expansion loop. The
+// deeper rounds reuse the shared scratch state (f, used, pathBuf), so
+// the caller's view of it is saved and restored around the descent.
+func (m *machine) midFlush(st *groupState, round int) error {
+	savedF, savedUsed, savedPath := st.f, st.used, st.pathBuf
+	st.f = make([]graph.VertexID, len(savedF))
+	for i := range st.f {
+		st.f[i] = -1
+	}
+	st.used = make(map[graph.VertexID]bool, len(savedUsed))
+	st.pathBuf = nil
+
+	err := m.flushSegment(st, round)
+
+	st.f, st.used, st.pathBuf = savedF, savedUsed, savedPath
+	return err
+}
+
+// emitResults consumes the full embeddings of the (reduced) pattern:
+// counts them — multiplying in the deferred end-vertex completions —
+// hands full embeddings to the OnEmbedding callback when set, and
+// removes them from the trie so their memory is reclaimed before the
+// next segment builds up.
+func (m *machine) emitResults(st *groupState, frontier []*etrie.Node) error {
+	e := m.e
+	if len(e.deferred) > 0 {
+		if err := m.fetchDeferredPivots(st, frontier); err != nil {
+			return err
+		}
+	}
+	for _, leaf := range frontier {
+		if leaf.Dead() {
+			continue
+		}
+		if len(e.deferred) == 0 {
+			m.distCount++
+			if e.cfg.OnEmbedding != nil {
+				st.pathBuf = st.trie.AppendPath(st.pathBuf[:0], leaf)
+				for j, v := range st.pathBuf {
+					st.f[e.redOrder[j]] = v
+				}
+				e.cfg.OnEmbedding(m.id, st.f)
+				for j := range st.pathBuf {
+					st.f[e.redOrder[j]] = -1
+				}
+			}
+			st.trie.Remove(leaf)
+			continue
+		}
+		// End-vertex counting: materialize the core embedding, then
+		// enumerate the deferred completions without caching anything
+		// (the paper’s Exp-3 end-vertex treatment).
+		st.pathBuf = st.trie.AppendPath(st.pathBuf[:0], leaf)
+		for j, v := range st.pathBuf {
+			st.f[e.redOrder[j]] = v
+			st.used[v] = true
+		}
+		m.distCount += m.countDeferred(st, 0)
+		for j := 0; j < len(st.pathBuf); j++ {
+			u := e.redOrder[j]
+			delete(st.used, st.f[u])
+			st.f[u] = -1
+		}
+		st.trie.Remove(leaf)
+	}
+	// Reclaim the emitted results’ memory promptly.
+	return m.chargeTrie(st)
+}
+
+// countDeferred counts the injective, symmetry-respecting assignments
+// of the deferred end vertices given the fixed core embedding in st.f.
+// Candidates for deferred vertex i are the neighbours of its pivot’s
+// data vertex; the expansion edge holds by construction, and end
+// vertices have no other pattern edges, so no verification is needed.
+func (m *machine) countDeferred(st *groupState, di int) int64 {
+	e := m.e
+	if di == len(e.deferred) {
+		return 1
+	}
+	d := e.deferred[di]
+	adj := m.view.mustAdj(st.f[e.defPiv[di]])
+	var total int64
+	for _, v := range adj {
+		if st.used[v] {
+			continue
+		}
+		ok := true
+		for _, c := range e.defCons[di] {
+			o := st.f[c.other]
+			if c.less {
+				if !(v < o) {
+					ok = false
+					break
+				}
+			} else if !(v > o) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		st.f[d] = v
+		st.used[v] = true
+		total += m.countDeferred(st, di+1)
+		delete(st.used, v)
+		st.f[d] = -1
+	}
+	return total
+}
+
+// fetchDeferredPivots makes sure the adjacency list of every deferred
+// end vertex’s pivot is locally available for counting, batching one
+// fetchV per remote machine (the cache-release valve may have dropped
+// lists fetched in earlier rounds).
+func (m *machine) fetchDeferredPivots(st *groupState, frontier []*etrie.Node) error {
+	e := m.e
+	need := make(map[int][]graph.VertexID)
+	seen := make(map[graph.VertexID]bool)
+	for _, leaf := range frontier {
+		if leaf.Dead() {
+			continue
+		}
+		st.pathBuf = st.trie.AppendPath(st.pathBuf[:0], leaf)
+		for _, piv := range e.defPiv {
+			v := st.pathBuf[e.redPos[piv]]
+			if m.view.owned(v) || m.view.cached(v) || seen[v] {
+				continue
+			}
+			seen[v] = true
+			need[int(e.part.Owner[v])] = append(need[int(e.part.Owner[v])], v)
+		}
+	}
+	owners := make([]int, 0, len(need))
+	for o := range need {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	for _, owner := range owners {
+		vs := need[owner]
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		resp, err := e.tr.Call(m.id, owner, &cluster.FetchVRequest{Vertices: vs})
+		if err != nil {
+			return fmt.Errorf("fetchV (deferred pivots) to %d: %w", owner, err)
+		}
+		adj := resp.(*cluster.FetchVResponse).Adj
+		if len(adj) != len(vs) {
+			return fmt.Errorf("fetchV to %d: got %d lists for %d vertices", owner, len(adj), len(vs))
+		}
+		for i, v := range vs {
+			if err := m.view.insert(v, adj[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fetchForeignPivots gathers the pivot data vertices of the round that
+// are neither owned nor cached and fetches their adjacency lists, one
+// batched fetchV request per remote machine (Section 3.2 "Expand").
+func (m *machine) fetchForeignPivots(st *groupState, round int, frontier []*etrie.Node) error {
+	e := m.e
+	var pivPos int
+	if round == 0 {
+		pivPos = 0 // dp0.piv is at order position 0 = the trie root
+	} else {
+		pivPos = e.redPos[e.pl.Units[round].Piv]
+	}
+	need := make(map[int][]graph.VertexID) // owner -> vertices
+	seen := make(map[graph.VertexID]bool)
+	for _, leaf := range frontier {
+		if leaf.Dead() {
+			continue
+		}
+		st.pathBuf = st.trie.AppendPath(st.pathBuf[:0], leaf)
+		v := st.pathBuf[pivPos]
+		if m.view.owned(v) || m.view.cached(v) || seen[v] {
+			continue
+		}
+		seen[v] = true
+		owner := int(e.part.Owner[v])
+		need[owner] = append(need[owner], v)
+	}
+	owners := make([]int, 0, len(need))
+	for o := range need {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	for _, owner := range owners {
+		vs := need[owner]
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		resp, err := e.tr.Call(m.id, owner, &cluster.FetchVRequest{Vertices: vs})
+		if err != nil {
+			return fmt.Errorf("fetchV to %d: %w", owner, err)
+		}
+		adj := resp.(*cluster.FetchVResponse).Adj
+		if len(adj) != len(vs) {
+			return fmt.Errorf("fetchV to %d: got %d lists for %d vertices", owner, len(adj), len(vs))
+		}
+		for i, v := range vs {
+			if err := m.view.insert(v, adj[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// expandRound expands every frontier embedding of P_{round-1} through
+// unit `round` (Algorithm 1). Frontier entries whose subtree produces
+// no surviving results are removed via the pin/unpin accounting.
+func (m *machine) expandRound(st *groupState, round int, frontier []*etrie.Node) error {
+	e := m.e
+	piv := e.pl.Units[round].Piv
+	leaves := e.unitLeaves[round]
+	prefixBefore := 1
+	if round > 0 {
+		prefixBefore = e.redPrefix[round-1]
+	}
+	for _, parent := range frontier {
+		if parent.Dead() {
+			continue
+		}
+		// Materialize f from the trie path.
+		st.pathBuf = st.trie.AppendPath(st.pathBuf[:0], parent)
+		if len(st.pathBuf) != prefixBefore {
+			return fmt.Errorf("internal: frontier path length %d, want %d", len(st.pathBuf), prefixBefore)
+		}
+		for j, v := range st.pathBuf {
+			st.f[e.redOrder[j]] = v
+			st.used[v] = true
+		}
+
+		vpiv := st.f[piv]
+		adj := m.view.mustAdj(vpiv) // fetched by fetchForeignPivots
+
+		st.pending = st.pending[:0]
+		// Pin the parent: a mid-round flush may consume and remove every
+		// child produced so far while we are still expanding beneath it.
+		st.trie.Pin(parent)
+		_, err := m.adjEnum(st, round, 0, parent, leaves, adj)
+
+		// Backtrack bookkeeping. pathBuf may have been clobbered by a
+		// mid-round flush, so clear via f (which midFlush restores).
+		for j := 0; j < prefixBefore; j++ {
+			u := e.redOrder[j]
+			delete(st.used, st.f[u])
+			st.f[u] = -1
+		}
+		// Unpin removes the parent when nothing under it survived —
+		// Algorithm 1 lines 7-9 generalized to segmented rounds.
+		st.trie.Unpin(parent)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adjEnum is Algorithm 2: recursively match unit leaves within the
+// neighbourhood of the pivot's data vertex, verifying what is locally
+// determinable and deferring the rest to the EVI. At the top level it
+// honours the flush limit: between candidate subtrees, if the current
+// segment has grown past flushNodes, the segment is verified, filtered
+// and descended before expansion continues.
+func (m *machine) adjEnum(st *groupState, round, li int, parent *etrie.Node, leaves []pattern.VertexID, pivAdj []graph.VertexID) (bool, error) {
+	e := m.e
+	u := leaves[li]
+	pos := e.redPos[u]
+	produced := false
+
+	for _, v := range pivAdj {
+		if li == 0 && st.flushNodes > 0 && len(st.created) >= st.flushNodes {
+			// Safe flush point: no partially-built chain is open (the
+			// previous candidate's subtree is fully linked), and the
+			// pinned parent survives the descent.
+			if err := m.midFlush(st, round); err != nil {
+				return produced, err
+			}
+		}
+		if st.used[v] {
+			continue
+		}
+		// Symmetry-breaking constraints against earlier positions.
+		ok := true
+		for _, c := range e.cons2[pos] {
+			o := st.f[c.other]
+			if c.less {
+				if !(v < o) {
+					ok = false
+					break
+				}
+			} else if !(v > o) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if !m.view.degreeAtLeast(v, e.p.Degree(u)) {
+			continue
+		}
+		// Verification edges to already-matched query vertices: check
+		// locally when determinable, otherwise collect as undetermined.
+		var undet []graph.Edge
+		for _, w := range e.verif[pos] {
+			fw := st.f[w]
+			exists, determinable := m.view.edgeKnown(v, fw)
+			if determinable {
+				if !exists {
+					ok = false
+					break
+				}
+			} else {
+				undet = append(undet, graph.Edge{U: v, V: fw}.Normalize())
+			}
+		}
+		if !ok {
+			continue
+		}
+
+		node := st.trie.Node(parent, v)
+		st.f[u] = v
+		st.used[v] = true
+		st.pending = append(st.pending, undet)
+
+		var err error
+		if li == len(leaves)-1 {
+			// EC of P_round complete (Algorithm 2 lines 16-19).
+			st.trie.Link(node)
+			st.created = append(st.created, node)
+			for _, depthEdges := range st.pending {
+				for _, de := range depthEdges {
+					st.evi.Add(de, node)
+				}
+			}
+			produced = true
+		} else {
+			var deeper bool
+			deeper, err = m.adjEnum(st, round, li+1, node, leaves, pivAdj)
+			if deeper {
+				st.trie.Link(node)
+				produced = true
+			}
+		}
+
+		st.pending = st.pending[:len(st.pending)-1]
+		delete(st.used, v)
+		st.f[u] = -1
+		if err != nil {
+			return produced, err
+		}
+	}
+	return produced, nil
+}
+
+// verifyAndFilter sends one verifyE request per remote machine covering
+// all EVI keys, then filters failed candidates (Proposition 2).
+func (m *machine) verifyAndFilter(st *groupState) error {
+	e := m.e
+	if st.evi.Len() == 0 {
+		return nil
+	}
+	edges := st.evi.Edges()
+	byOwner := make(map[int][]graph.Edge)
+	for _, ed := range edges {
+		owner := int(e.part.Owner[ed.U])
+		if owner == m.id {
+			// Shouldn't happen: locally determinable edges never enter
+			// the EVI; resolve defensively without network traffic.
+			if !e.g.HasEdge(ed.U, ed.V) {
+				st.evi.Fail(ed, st.trie)
+			}
+			continue
+		}
+		byOwner[owner] = append(byOwner[owner], ed)
+	}
+	owners := make([]int, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	for _, owner := range owners {
+		req := &cluster.VerifyERequest{Edges: byOwner[owner]}
+		resp, err := e.tr.Call(m.id, owner, req)
+		if err != nil {
+			return fmt.Errorf("verifyE to %d: %w", owner, err)
+		}
+		exists := resp.(*cluster.VerifyEResponse).Exists
+		if len(exists) != len(req.Edges) {
+			return fmt.Errorf("verifyE to %d: %d answers for %d edges", owner, len(exists), len(req.Edges))
+		}
+		for i, ok := range exists {
+			if !ok {
+				st.evi.Fail(req.Edges[i], st.trie)
+			}
+		}
+	}
+	st.evi.Reset()
+	return nil
+}
+
+// recordRoundStats accumulates the Table 3/4 compression accounting for
+// one flush segment of one round: alive is the number of surviving
+// results of P_round in the segment.
+func (m *machine) recordRoundStats(st *groupState, round, alive int) {
+	prefix := int64(m.e.redPrefix[round])
+	el := int64(alive) * prefix * etrie.VertexBytes
+	et := st.trie.Bytes()
+	m.elCum += el
+	m.etCum += et
+	if el > m.elPeak {
+		m.elPeak = el
+	}
+	if et > m.etPeak {
+		m.etPeak = et
+	}
+}
+
+// chargeTrie reconciles the budget charge with the trie's current size.
+func (m *machine) chargeTrie(st *groupState) error {
+	cur := st.trie.Bytes()
+	switch {
+	case cur > m.chargedTrie:
+		if err := m.e.cfg.Budget.Charge(m.id, cur-m.chargedTrie); err != nil {
+			return err
+		}
+	case cur < m.chargedTrie:
+		m.e.cfg.Budget.Release(m.id, m.chargedTrie-cur)
+	}
+	m.chargedTrie = cur
+	return nil
+}
