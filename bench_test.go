@@ -35,7 +35,18 @@ func printTable(b *testing.B, key string, t *harness.Table) {
 	}
 }
 
+// skipIfShort gates the experiment benchmarks out of -short runs (CI
+// runs `go test -short`; the full figure regeneration is a local,
+// explicit `go test -bench=.`).
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("heavy experiment benchmark: skipped in -short mode")
+	}
+}
+
 func BenchmarkTable1DatasetProfiles(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		t := harness.Table1DatasetProfiles(1)
 		printTable(b, "table1", t)
@@ -43,6 +54,7 @@ func BenchmarkTable1DatasetProfiles(b *testing.B) {
 }
 
 func BenchmarkTable2CrystalIndexSize(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		t := harness.Table2CrystalIndex(1)
 		printTable(b, "table2", t)
@@ -64,12 +76,16 @@ func perfBenchmark(b *testing.B, key, dataset string) {
 	}
 }
 
-func BenchmarkFig8RoadNet(b *testing.B)      { perfBenchmark(b, "fig8", "RoadNet") }
-func BenchmarkFig9DBLP(b *testing.B)         { perfBenchmark(b, "fig9", "DBLP") }
-func BenchmarkFig10LiveJournal(b *testing.B) { perfBenchmark(b, "fig10", "LiveJournal") }
-func BenchmarkFig11UK2002(b *testing.B)      { perfBenchmark(b, "fig11", "UK2002") }
+func BenchmarkFig8RoadNet(b *testing.B) { skipIfShort(b); perfBenchmark(b, "fig8", "RoadNet") }
+func BenchmarkFig9DBLP(b *testing.B)    { skipIfShort(b); perfBenchmark(b, "fig9", "DBLP") }
+func BenchmarkFig10LiveJournal(b *testing.B) {
+	skipIfShort(b)
+	perfBenchmark(b, "fig10", "LiveJournal")
+}
+func BenchmarkFig11UK2002(b *testing.B) { skipIfShort(b); perfBenchmark(b, "fig11", "UK2002") }
 
 func BenchmarkFig12Scalability(b *testing.B) {
+	skipIfShort(b)
 	for _, ds := range []string{"RoadNet", "DBLP", "LiveJournal", "UK2002"} {
 		b.Run(ds, func(b *testing.B) {
 			engines := []string{"Crystal", "RADS"}
@@ -93,6 +109,7 @@ func BenchmarkFig12Scalability(b *testing.B) {
 }
 
 func BenchmarkFig13PlanEffectiveness(b *testing.B) {
+	skipIfShort(b)
 	// RoadNet and DBLP: on the power-law analogs a pathological RanS
 	// plan can materialize unbounded intermediate results (which is the
 	// figure's very point, but unbounded wall-clock in a benchmark).
@@ -113,6 +130,7 @@ func BenchmarkFig13PlanEffectiveness(b *testing.B) {
 }
 
 func BenchmarkTable3CompressionRoadNet(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		t, err := harness.Compression(harness.CompressionSpec{
 			Dataset:  "RoadNet",
@@ -126,6 +144,7 @@ func BenchmarkTable3CompressionRoadNet(b *testing.B) {
 }
 
 func BenchmarkTable4CompressionDBLP(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		t, err := harness.Compression(harness.CompressionSpec{
 			Dataset:  "DBLP",
@@ -139,6 +158,7 @@ func BenchmarkTable4CompressionDBLP(b *testing.B) {
 }
 
 func BenchmarkFig15CliqueQueries(b *testing.B) {
+	skipIfShort(b)
 	for _, ds := range []string{"RoadNet", "DBLP", "LiveJournal", "UK2002"} {
 		b.Run(ds, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -153,6 +173,7 @@ func BenchmarkFig15CliqueQueries(b *testing.B) {
 }
 
 func BenchmarkRobustnessMemoryBudget(b *testing.B) {
+	skipIfShort(b)
 	// The paper's own robustness setup: query q6 on the UK graph with a
 	// tight budget — "Crystal starts crashing due to memory leaks,
 	// while RADS successfully finished the query".
@@ -166,6 +187,7 @@ func BenchmarkRobustnessMemoryBudget(b *testing.B) {
 }
 
 func BenchmarkAblationSME(b *testing.B) {
+	skipIfShort(b)
 	// SM-E on/off is the first row pair of the ablation table; the
 	// dedicated benchmark uses the road network where SM-E dominates.
 	for i := 0; i < b.N; i++ {
@@ -178,6 +200,7 @@ func BenchmarkAblationSME(b *testing.B) {
 }
 
 func BenchmarkAblationCache(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		t, err := harness.Ablations("DBLP", benchMachines, 1, "q4")
 		if err != nil {
@@ -188,6 +211,7 @@ func BenchmarkAblationCache(b *testing.B) {
 }
 
 func BenchmarkAblationGrouping(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		t, err := harness.Ablations("LiveJournal", benchMachines, 1, "q2")
 		if err != nil {
@@ -198,6 +222,7 @@ func BenchmarkAblationGrouping(b *testing.B) {
 }
 
 func BenchmarkAblationEndVertex(b *testing.B) {
+	skipIfShort(b)
 	// The Exp-3 end-vertex claim: q5 = q4 + end vertex should cost
 	// RADS only slightly more than q4 because the end vertex is
 	// counted, never materialized.
@@ -214,13 +239,16 @@ func BenchmarkAblationEndVertex(b *testing.B) {
 // paper's design leans on, independent of any figure.
 
 func BenchmarkMicroEmbeddingTrieInsertRemove(b *testing.B) {
+	skipIfShort(b)
 	benchTrie(b)
 }
 
 func BenchmarkMicroPlanComputation(b *testing.B) {
+	skipIfShort(b)
 	benchPlans(b)
 }
 
 func BenchmarkMicroLocalEnumeration(b *testing.B) {
+	skipIfShort(b)
 	benchLocalEnum(b)
 }

@@ -1,0 +1,310 @@
+// Command radserve exposes the resident query service over HTTP: it
+// loads and partitions a data graph once at startup, then serves many
+// pattern queries against it — the serving-system counterpart to the
+// batch-shaped radsrun.
+//
+// Usage:
+//
+//	radserve -dataset DBLP -machines 10 -addr :8080
+//	radserve -graph edges.txt -max-concurrent 8 -budget-mb 64
+//
+// Endpoints:
+//
+//	GET  /query?pattern=triangle[&engine=RADS][&nocache=1]
+//	POST /query    {"pattern":"triangle","engine":"RADS","stream":true,"limit":100}
+//	GET  /stats    service counters, cache and communication totals
+//	GET  /patterns built-in pattern names and the free-form syntax
+//	GET  /healthz
+//
+// A pattern is a built-in name (q1..q8, cq1..cq4, triangle, fig2) or
+// the textual form "name:n:u-v,u-v,...". Count queries return one JSON
+// object; stream queries return NDJSON — one {"embedding":[...]} line
+// per match, then a final {"result":{...}} line.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"rads/internal/graph"
+	"rads/internal/harness"
+	"rads/internal/pattern"
+	"rads/internal/service"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		dataset       = flag.String("dataset", "DBLP", "built-in dataset analog (RoadNet DBLP LiveJournal UK2002)")
+		graphFile     = flag.String("graph", "", "edge-list file overriding -dataset")
+		scale         = flag.Float64("scale", 1.0, "dataset scale factor")
+		machines      = flag.Int("machines", 8, "number of simulated machines")
+		maxConcurrent = flag.Int("max-concurrent", 4, "queries running at once")
+		maxQueued     = flag.Int("max-queued", 64, "queries waiting before 503")
+		budgetMB      = flag.Int64("budget-mb", 0, "per-machine memory budget per query in MiB (0 = unlimited)")
+		cacheEntries  = flag.Int("cache", 256, "result-cache capacity (negative disables)")
+		engine        = flag.String("engine", "RADS", "default engine")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataset, *graphFile, *scale, *machines, *maxConcurrent, *maxQueued, *budgetMB, *cacheEntries, *engine); err != nil {
+		fmt.Fprintln(os.Stderr, "radserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataset, graphFile string, scale float64, machines, maxConcurrent, maxQueued int, budgetMB int64, cacheEntries int, engine string) error {
+	var g *graph.Graph
+	var source string
+	if graphFile != "" {
+		f, err := os.Open(graphFile)
+		if err != nil {
+			return err
+		}
+		g, err = graph.ReadEdgeList(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		source = graphFile
+	} else {
+		d, err := harness.DatasetByName(dataset)
+		if err != nil {
+			return err
+		}
+		g = d.Build(scale)
+		source = dataset
+	}
+	log.Printf("graph %s: %d vertices, %d edges", source, g.NumVertices(), g.NumEdges())
+
+	start := time.Now()
+	svc, err := service.Open(g, service.Config{
+		Machines:         machines,
+		MaxConcurrent:    maxConcurrent,
+		MaxQueued:        maxQueued,
+		QueryBudgetBytes: budgetMB << 20,
+		CacheEntries:     cacheEntries,
+		DefaultEngine:    engine,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	part := svc.Partition()
+	log.Printf("resident: %d machines, edge cut %d, balance %.3f, warmed in %v",
+		part.M, part.EdgeCut(), part.Balance(), time.Since(start).Round(time.Millisecond))
+	log.Printf("listening on %s", addr)
+	return http.ListenAndServe(addr, newMux(svc))
+}
+
+// newMux wires the HTTP surface over a service; split out so tests can
+// drive it through httptest.
+func newMux(svc *service.Service) *http.ServeMux {
+	s := &server{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/patterns", s.handlePatterns)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+type server struct {
+	svc *service.Service
+}
+
+type queryRequest struct {
+	Pattern string `json:"pattern"`
+	Engine  string `json:"engine,omitempty"`
+	Stream  bool   `json:"stream,omitempty"`
+	NoCache bool   `json:"nocache,omitempty"`
+	// Limit truncates a stream after this many embeddings (0 = all).
+	Limit int64 `json:"limit,omitempty"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Pattern = q.Get("pattern")
+		req.Engine = q.Get("engine")
+		req.Stream = q.Get("stream") == "1" || q.Get("stream") == "true"
+		req.NoCache = q.Get("nocache") == "1" || q.Get("nocache") == "true"
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+				return
+			}
+			req.Limit = n
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		return
+	}
+
+	p, err := resolvePattern(req.Pattern)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	h, err := s.svc.Submit(ctx, service.Query{
+		Pattern: p,
+		Engine:  req.Engine,
+		Stream:  req.Stream,
+		NoCache: req.NoCache,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, service.ErrOverloaded), errors.Is(err, service.ErrClosed):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+
+	if req.Stream {
+		s.streamResponse(w, ctx, cancel, h, req, p.Name)
+		return
+	}
+	res, err := h.Result(ctx)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultPayload(res))
+}
+
+// streamResponse writes NDJSON: one {"embedding":[...]} line per match
+// followed by a terminal {"result":{...}} line.
+func (s *server) streamResponse(w http.ResponseWriter, ctx context.Context, cancel context.CancelFunc, h *service.Handle, req queryRequest, patternName string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	var emitted int64
+	truncated := false
+	for f := range h.Embeddings() {
+		if err := enc.Encode(map[string]any{"embedding": f}); err != nil {
+			cancel() // client went away: abort the engine
+			break
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		emitted++
+		if req.Limit > 0 && emitted >= req.Limit {
+			truncated = true
+			cancel() // stop the engine; drain whatever it already sent
+			break
+		}
+	}
+	for range h.Embeddings() {
+		// Drain anything buffered after cancellation or client loss.
+	}
+	res, err := h.Result(context.Background())
+	if err != nil {
+		if !truncated {
+			enc.Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		// Truncation cancelled the engine on purpose: there is no
+		// final Result, only what we counted ourselves.
+		res = service.Result{Pattern: patternName, Engine: h.Engine()}
+	}
+	payload := resultPayload(res)
+	payload["emitted"] = emitted
+	if truncated {
+		payload["truncated"] = true
+		delete(payload, "total") // unknown: the engine was stopped early
+	}
+	enc.Encode(map[string]any{"result": payload})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func (s *server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	for _, p := range pattern.QuerySet() {
+		names = append(names, p.Name)
+	}
+	for _, p := range pattern.CliqueQuerySet() {
+		names = append(names, p.Name)
+	}
+	names = append(names, "triangle", "fig2")
+	writeJSON(w, http.StatusOK, map[string]any{
+		"builtin": names,
+		"syntax":  "name:n:u-v,u-v,...  e.g. square:4:0-1,1-2,2-3,3-0",
+	})
+}
+
+// resolvePattern accepts a built-in name or the textual pattern form.
+func resolvePattern(s string) (*pattern.Pattern, error) {
+	if s == "" {
+		return nil, errors.New("missing pattern")
+	}
+	if p := pattern.ByName(s); p != nil {
+		return p, nil
+	}
+	p, err := pattern.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("pattern %q is neither a built-in name nor name:n:edges: %w", s, err)
+	}
+	return p, nil
+}
+
+func resultPayload(res service.Result) map[string]any {
+	out := map[string]any{
+		"pattern":   res.Pattern,
+		"engine":    res.Engine,
+		"total":     res.Total,
+		"seconds":   res.Seconds,
+		"comm_mb":   res.CommMB,
+		"cache_hit": res.CacheHit,
+		"queued_ms": float64(res.Queued) / float64(time.Millisecond),
+	}
+	if res.OOM {
+		out["oom"] = true
+	}
+	if res.PeakMB > 0 {
+		out["peak_mb"] = res.PeakMB
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

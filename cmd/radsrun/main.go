@@ -1,5 +1,7 @@
 // Command radsrun runs a single subgraph-enumeration query on one
 // dataset with one engine and prints the count plus run statistics.
+// It is the batch front end over the same resident query service that
+// radserve exposes via HTTP.
 //
 // Usage:
 //
@@ -11,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +22,7 @@ import (
 	"rads/internal/harness"
 	"rads/internal/partition"
 	"rads/internal/pattern"
+	"rads/internal/service"
 )
 
 func main() {
@@ -67,17 +71,29 @@ func run(dataset, graphFile, queryName, engine string, machines int, scale float
 	fmt.Printf("partition: %d machines, edge cut %d, balance %.3f\n",
 		machines, part.EdgeCut(), part.Balance())
 
-	u := harness.RunEngine(harness.RunSpec{
-		Engine: engine, Part: part, Query: q, BudgetBytes: budgetMB << 20,
+	// One-shot use of the resident service: the canonical entry point
+	// for queries, here opened for a single Submit.
+	svc, err := service.OpenPartitioned(part, service.Config{
+		QueryBudgetBytes: budgetMB << 20,
 	})
-	if u.Err != nil {
-		return u.Err
+	if err != nil {
+		return err
 	}
-	if u.OOM {
+	defer svc.Close()
+
+	h, err := svc.Submit(context.Background(), service.Query{Pattern: q, Engine: engine})
+	if err != nil {
+		return err
+	}
+	res, err := h.Result(context.Background())
+	if err != nil {
+		return err
+	}
+	if res.OOM {
 		fmt.Printf("%s on %s: OUT OF MEMORY under %d MiB/machine\n", engine, queryName, budgetMB)
 		return nil
 	}
 	fmt.Printf("%s on %s: %d embeddings in %.3fs, %.3f MB communicated\n",
-		engine, queryName, u.Total, u.Seconds, u.CommMB)
+		res.Engine, queryName, res.Total, res.Seconds, res.CommMB)
 	return nil
 }

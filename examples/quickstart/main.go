@@ -1,19 +1,20 @@
-// Quickstart: enumerate triangles in a small community graph with
-// RADS across 4 simulated machines, and cross-check the count against
-// the single-machine enumerator.
+// Quickstart: open the resident query service over a small community
+// graph, enumerate triangles with RADS across 4 simulated machines,
+// show the result cache answering a repeated motif, and cross-check
+// the count against the single-machine enumerator.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"rads/internal/gen"
 	"rads/internal/localenum"
-	"rads/internal/partition"
 	"rads/internal/pattern"
-	"rads/internal/rads"
+	"rads/internal/service"
 )
 
 func main() {
@@ -21,23 +22,47 @@ func main() {
 	g := gen.Community(10, 30, 0.2, 42)
 	fmt.Printf("data graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
-	// 2. Partition it across 4 machines, METIS-style.
-	part := partition.KWay(g, 4, 1)
-	fmt.Printf("partition: edge cut %d, balance %.2f\n", part.EdgeCut(), part.Balance())
-
-	// 3. The query pattern: a triangle.
-	q := pattern.Triangle()
-
-	// 4. Run RADS.
-	res, err := rads.Run(part, q, rads.Config{})
+	// 2. Open the resident service: partitions across 4 machines once,
+	// keeps partitions, border distances and plans resident for every
+	// query that follows.
+	svc, err := service.Open(g, service.Config{Machines: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("RADS found %d triangles (%d via SM-E, %d distributed)\n",
-		res.Total, res.SME, res.Distributed)
-	fmt.Printf("communication: %d bytes in %d messages\n", res.CommBytes, res.CommMessages)
-	fmt.Printf("region groups: %d (stolen: %d), rounds per group: %d\n",
-		res.RegionGroups, res.StolenGroups, res.Rounds)
+	defer svc.Close()
+	part := svc.Partition()
+	fmt.Printf("partition: edge cut %d, balance %.2f\n", part.EdgeCut(), part.Balance())
+
+	// 3. Submit the triangle query; the handle streams the outcome.
+	q := pattern.Triangle()
+	h, err := svc.Submit(context.Background(), service.Query{Pattern: q})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := h.Result(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RADS found %d triangles in %.3fs (%.3f MB communicated)\n",
+		res.Total, res.Seconds, res.CommMB)
+
+	// 4. The result cache keys on the *canonical* form: enumerate a
+	// path-of-three motif, then resubmit it under a genuinely
+	// different labeling (centre vertex 1 vs centre vertex 0) — the
+	// second answer comes from cache without touching the engine.
+	vee := pattern.New("vee", 3, 0, 1, 1, 2)
+	veeRelabeled := pattern.New("vee-relabeled", 3, 1, 0, 0, 2)
+	for _, p := range []*pattern.Pattern{vee, veeRelabeled} {
+		hp, err := svc.Submit(context.Background(), service.Query{Pattern: p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rp, err := hp.Result(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %d embeddings, cache hit: %v\n", p.Name+":", rp.Total, rp.CacheHit)
+	}
 
 	// 5. Cross-check with the single-machine oracle.
 	want := localenum.Count(g, q, localenum.Options{})
@@ -45,4 +70,8 @@ func main() {
 		log.Fatalf("MISMATCH: oracle says %d", want)
 	}
 	fmt.Println("count verified against single-machine enumeration ✓")
+
+	st := svc.Stats()
+	fmt.Printf("service: %d submitted, %d engine runs, %d cache hits\n",
+		st.Submitted, st.EngineRuns, st.CacheHits)
 }

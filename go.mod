@@ -1,0 +1,3 @@
+module rads
+
+go 1.24

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -12,8 +13,10 @@ import (
 	"rads/internal/baselines/seed"
 	"rads/internal/baselines/twintwig"
 	"rads/internal/cluster"
+	"rads/internal/graph"
 	"rads/internal/partition"
 	"rads/internal/pattern"
+	"rads/internal/plan"
 	"rads/internal/rads"
 )
 
@@ -23,6 +26,10 @@ var EngineNames = []string{"SEED", "TwinTwig", "Crystal", "RADS", "PSgL"}
 
 // CliqueEngineNames is the Figure 15 engine subset.
 var CliqueEngineNames = []string{"SEED", "Crystal", "RADS"}
+
+// AllEngineNames lists every engine RunEngine can dispatch to,
+// including BigJoin (which the paper's main charts omit).
+var AllEngineNames = []string{"RADS", "PSgL", "TwinTwig", "SEED", "Crystal", "BigJoin"}
 
 // Uniform is an engine-agnostic result record, one bar of a figure.
 type Uniform struct {
@@ -44,6 +51,25 @@ type RunSpec struct {
 	Query       *pattern.Pattern
 	BudgetBytes int64          // 0 = unlimited
 	Index       *crystal.Index // prebuilt clique index for Crystal
+
+	// The remaining fields exist for long-lived callers (the resident
+	// query service); batch experiment runners leave them zero.
+
+	// Ctx cancels a RADS run between candidates/groups; the baselines
+	// ignore it (their supersteps are not interruptible).
+	Ctx context.Context
+	// Plan is a precomputed RADS execution plan (resident plan
+	// catalog); nil computes one per run.
+	Plan *plan.Plan
+	// Metrics receives communication accounting; nil allocates one per
+	// run. Uniform.CommMB reads this metrics object's totals, so pass
+	// a fresh one per query if you need per-query numbers.
+	Metrics *cluster.Metrics
+	// Budget overrides BudgetBytes with a caller-owned budget.
+	Budget *cluster.MemBudget
+	// OnEmbedding streams every embedding found (RADS only; other
+	// engines fail if it is set). The slice is reused — copy to keep.
+	OnEmbedding func(machine int, f []graph.VertexID)
 }
 
 // RunEngine executes one engine and normalizes its result. An
@@ -52,12 +78,19 @@ type RunSpec struct {
 func RunEngine(spec RunSpec) Uniform {
 	u := Uniform{Engine: spec.Engine, Query: spec.Query.Name}
 	m := spec.Part.M
-	var budget *cluster.MemBudget
-	if spec.BudgetBytes > 0 {
+	budget := spec.Budget
+	if budget == nil && spec.BudgetBytes > 0 {
 		budget = cluster.NewMemBudget(m, spec.BudgetBytes)
 	}
-	metrics := cluster.NewMetrics(m)
+	metrics := spec.Metrics
+	if metrics == nil {
+		metrics = cluster.NewMetrics(m)
+	}
 	ccfg := common.Config{Metrics: metrics, Budget: budget}
+	if spec.OnEmbedding != nil && spec.Engine != "RADS" {
+		u.Err = fmt.Errorf("harness: engine %q cannot stream embeddings", spec.Engine)
+		return u
+	}
 
 	var total int64
 	var secs float64
@@ -66,7 +99,13 @@ func RunEngine(spec RunSpec) Uniform {
 	case "RADS":
 		start := time.Now()
 		var res *rads.Result
-		res, err = rads.Run(spec.Part, spec.Query, rads.Config{Metrics: metrics, Budget: budget})
+		res, err = rads.Run(spec.Part, spec.Query, rads.Config{
+			Context:     spec.Ctx,
+			Plan:        spec.Plan,
+			Metrics:     metrics,
+			Budget:      budget,
+			OnEmbedding: spec.OnEmbedding,
+		})
 		secs = time.Since(start).Seconds()
 		if err == nil {
 			total = res.Total

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"rads/internal/graph"
 )
@@ -29,6 +30,9 @@ type Partition struct {
 
 	verts  [][]graph.VertexID // vertices per machine
 	border [][]graph.VertexID // border vertices per machine (V^b_Gt)
+
+	bdMu sync.Mutex
+	bd   []map[graph.VertexID]int32 // memoized BorderDistances per machine
 }
 
 // New builds a Partition from an ownership vector. It validates that
@@ -81,7 +85,29 @@ func (p *Partition) IsBorder(v graph.VertexID) bool {
 // v to any border vertex of t. Vertices of other machines get -1; a
 // machine with no border vertices gets distance = +inf, represented as
 // the sentinel NoBorder.
+//
+// The result is memoized: border distances depend only on the (fixed)
+// ownership vector, and a resident service runs many queries against
+// one partition, so each machine's BFS is paid once. Callers share the
+// returned map and must treat it as read-only.
 func (p *Partition) BorderDistances(t int) map[graph.VertexID]int32 {
+	p.bdMu.Lock()
+	if p.bd == nil {
+		p.bd = make([]map[graph.VertexID]int32, p.M)
+	}
+	if d := p.bd[t]; d != nil {
+		p.bdMu.Unlock()
+		return d
+	}
+	p.bdMu.Unlock()
+	d := p.computeBorderDistances(t)
+	p.bdMu.Lock()
+	p.bd[t] = d
+	p.bdMu.Unlock()
+	return d
+}
+
+func (p *Partition) computeBorderDistances(t int) map[graph.VertexID]int32 {
 	// BFS restricted to edges whose both endpoints are owned by t:
 	// the paper defines BD over the partition G_t, whose vertex set is
 	// the vertices owned by t.

@@ -1,0 +1,109 @@
+package pattern
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// CanonicalKey returns a string that is equal for two patterns exactly
+// when they are isomorphic as unlabeled graphs. The resident query
+// service uses it to key its result cache: embedding *counts* are
+// isomorphism-invariant, so isomorphic motif queries submitted under
+// different vertex labelings share one cache entry.
+//
+// The key is the lexicographically greatest flattening of the strict
+// lower triangle of the adjacency matrix over all vertex orderings,
+// found by branch-and-bound with prefix pruning and twin elimination.
+// Worst case is factorial, but patterns are tiny (the paper's largest
+// query has 6 vertices) and twins collapse the symmetric blowups
+// (stars, cliques), so in practice this is microseconds.
+//
+// Note the key deliberately ignores Name: "triangle" and "k3" share a
+// key.
+func (p *Pattern) CanonicalKey() string {
+	n := p.n
+	if n == 0 {
+		return "0:"
+	}
+	var best []byte
+	cur := make([]byte, 0, n*(n-1)/2)
+	perm := make([]VertexID, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		i := len(perm)
+		if i == n {
+			if best == nil || bytes.Compare(cur, best) > 0 {
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		tried := make([]VertexID, 0, n-i)
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			// Twin elimination: if an already-tried candidate u is
+			// interchangeable with v (same neighbourhood modulo each
+			// other), the subtree under v repeats the one under u.
+			twin := false
+			for _, u := range tried {
+				if p.isTwin(u, VertexID(v)) {
+					twin = true
+					break
+				}
+			}
+			if twin {
+				continue
+			}
+			tried = append(tried, VertexID(v))
+			mark := len(cur)
+			for j := 0; j < i; j++ {
+				if p.HasEdge(VertexID(v), perm[j]) {
+					cur = append(cur, '1')
+				} else {
+					cur = append(cur, '0')
+				}
+			}
+			// Prefix pruning: a branch whose partial string already
+			// falls below the incumbent cannot recover (lexicographic
+			// order on equal-length strings is prefix-monotone).
+			if best == nil || bytes.Compare(cur, best[:len(cur)]) >= 0 {
+				perm = append(perm, VertexID(v))
+				used[v] = true
+				rec()
+				perm = perm[:len(perm)-1]
+				used[v] = false
+			}
+			cur = cur[:mark]
+		}
+	}
+	rec()
+	return fmt.Sprintf("%d:%s", n, best)
+}
+
+// isTwin reports whether u and v are twins: adj(u)\{v} == adj(v)\{u}.
+// Twins (adjacent or not) are swapped by an automorphism fixing all
+// other vertices, so they are interchangeable in any vertex ordering.
+func (p *Pattern) isTwin(u, v VertexID) bool {
+	if len(p.adj[u]) != len(p.adj[v]) {
+		return false
+	}
+	for _, w := range p.adj[u] {
+		if w == v {
+			continue
+		}
+		if !p.HasEdge(v, w) {
+			return false
+		}
+	}
+	for _, w := range p.adj[v] {
+		if w == u {
+			continue
+		}
+		if !p.HasEdge(u, w) {
+			return false
+		}
+	}
+	return true
+}

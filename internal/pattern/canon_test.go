@@ -1,0 +1,108 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// relabel returns a copy of p with vertices renamed by a random
+// permutation — isomorphic to p by construction.
+func relabel(p *Pattern, rng *rand.Rand) *Pattern {
+	n := p.N()
+	perm := rng.Perm(n)
+	var pairs []int
+	for _, e := range p.Edges() {
+		pairs = append(pairs, perm[e[0]], perm[e[1]])
+	}
+	return New(p.Name+"-relabeled", n, pairs...)
+}
+
+func TestCanonicalKeyInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var pats []*Pattern
+	pats = append(pats, QuerySet()...)
+	pats = append(pats, CliqueQuerySet()...)
+	pats = append(pats, Triangle(), Path(5), Cycle(6), Star(7), CompleteBipartite(2, 3))
+	for _, p := range pats {
+		key := p.CanonicalKey()
+		for trial := 0; trial < 5; trial++ {
+			q := relabel(p, rng)
+			if got := q.CanonicalKey(); got != key {
+				t.Errorf("%s: relabeled key %q != original %q", p.Name, got, key)
+			}
+		}
+	}
+}
+
+func TestCanonicalKeySeparatesNonIsomorphic(t *testing.T) {
+	pats := []*Pattern{
+		Path(4), Cycle(4), Star(3), CompleteGraph(4),
+		Path(5), Cycle(5), CompleteBipartite(2, 3),
+	}
+	pats = append(pats, QuerySet()...)
+	for i, p := range pats {
+		for j, q := range pats {
+			if i == j {
+				continue
+			}
+			same := p.CanonicalKey() == q.CanonicalKey()
+			iso := p.IsIsomorphicTo(q)
+			if same != iso {
+				t.Errorf("%s vs %s: key-equal=%v but isomorphic=%v", p.Name, q.Name, same, iso)
+			}
+		}
+	}
+}
+
+func TestCanonicalKeyRandomAgainstIsomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	random := func(n, m int) *Pattern {
+		for {
+			var pairs []int
+			seen := map[[2]int]bool{}
+			for len(seen) < m {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				if u > v {
+					u, v = v, u
+				}
+				if seen[[2]int{u, v}] {
+					continue
+				}
+				seen[[2]int{u, v}] = true
+				pairs = append(pairs, u, v)
+			}
+			p := New("rand", n, pairs...)
+			if p.IsConnected() {
+				return p
+			}
+		}
+	}
+	var pats []*Pattern
+	for i := 0; i < 12; i++ {
+		pats = append(pats, random(5, 6))
+	}
+	for i, p := range pats {
+		for j, q := range pats {
+			if i >= j {
+				continue
+			}
+			same := p.CanonicalKey() == q.CanonicalKey()
+			iso := p.IsIsomorphicTo(q)
+			if same != iso {
+				t.Errorf("pair (%d,%d): key-equal=%v but isomorphic=%v", i, j, same, iso)
+			}
+		}
+	}
+}
+
+func TestCanonicalKeyHeavySymmetry(t *testing.T) {
+	// Twin elimination must keep stars and cliques from exploding.
+	for _, p := range []*Pattern{Star(40), CompleteGraph(9), CompleteBipartite(5, 5)} {
+		if p.CanonicalKey() == "" {
+			t.Errorf("%s: empty key", p.Name)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package rads
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"rads/internal/gen"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+)
+
+// TestContextCancellationAborts runs RADS with an already-cancelled
+// context: every machine must abort at its first checkpoint and Run
+// must surface context.Canceled (wrapped in ErrAborted).
+func TestContextCancellationAborts(t *testing.T) {
+	g := gen.Community(6, 20, 0.2, 11)
+	part := partition.KWay(g, 4, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(part, pattern.Triangle(), Config{Context: ctx})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("error %v does not wrap ErrAborted", err)
+	}
+}
+
+// TestNilContextRuns confirms the zero-value Config (no context) still
+// enumerates normally.
+func TestNilContextRuns(t *testing.T) {
+	g := gen.Community(6, 20, 0.2, 11)
+	part := partition.KWay(g, 4, 1)
+	res, err := Run(part, pattern.Triangle(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total <= 0 {
+		t.Fatalf("expected triangles, got %d", res.Total)
+	}
+}

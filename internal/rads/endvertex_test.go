@@ -74,6 +74,9 @@ func TestEndVertexCountingMatchesMaterialized(t *testing.T) {
 // trie never materializes end-vertex levels, so its cumulative size
 // drops (the q4 -> q5 "slight increase" of Exp-3).
 func TestEndVertexCountingShrinksTrie(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second memory-shape experiment: skipped in -short mode")
+	}
 	g := gen.PowerLaw(300, 8, 2.7, 90, 43)
 	part := partition.KWay(g, 4, 9)
 	q := pattern.ByName("q5")
@@ -101,6 +104,9 @@ func TestEndVertexCountingShrinksTrie(t *testing.T) {
 // even though q5 has an extra query vertex, while the materialized
 // variant grows by roughly the end vertex's candidate count.
 func TestEndVertexQ5CostsLikeQ4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second cost-shape experiment: skipped in -short mode")
+	}
 	g := gen.PowerLaw(500, 10, 2.6, 150, 47)
 	part := partition.KWay(g, 4, 9)
 	q4, err := Run(part, pattern.ByName("q4"), Config{DisableSME: true})

@@ -23,6 +23,7 @@
 package rads
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -38,6 +39,12 @@ import (
 // Config tunes a RADS run. The zero value gives the paper's default
 // behaviour on an in-process transport.
 type Config struct {
+	// Context, if non-nil, cancels the run: machines check it between
+	// SM-E candidates, region groups and steal attempts, and Run
+	// returns an error wrapping the context's error. Long-lived
+	// callers (the resident query service) use this to abort queries
+	// whose client has gone away.
+	Context context.Context
 	// Plan overrides the Section 4 planner (used by the Figure 13
 	// RanS/RanM ablation). Nil computes the optimized plan.
 	Plan *plan.Plan
@@ -391,3 +398,18 @@ func (e *engine) run() (*Result, error) {
 
 // ErrAborted wraps machine-level failures with their machine ID.
 var ErrAborted = errors.New("rads: machine aborted")
+
+// checkCtx returns the configured context's error once it is
+// cancelled, nil otherwise (or when no context was configured).
+func (e *engine) checkCtx() error {
+	ctx := e.cfg.Context
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

@@ -40,6 +40,9 @@ func TestFlushSegmentsPreserveCounts(t *testing.T) {
 // TestFlushSegmentsMatchUnsegmented compares every observable result
 // field that must be invariant under segmentation.
 func TestFlushSegmentsMatchUnsegmented(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second segmentation experiment: skipped in -short mode")
+	}
 	g := gen.PowerLaw(600, 8, 2.6, 150, 23)
 	part := partition.KWay(g, 4, 9)
 	q := pattern.ByName("q4")
@@ -63,6 +66,9 @@ func TestFlushSegmentsMatchUnsegmented(t *testing.T) {
 // TestSegmentedPeakBelowUnsegmented: with a small group target the
 // live trie peak must come down accordingly.
 func TestSegmentedPeakBelowUnsegmented(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second q6 runs: skipped in -short mode")
+	}
 	g := gen.PowerLaw(450, 9, 2.5, 150, 31)
 	part := partition.KWay(g, 4, 9)
 	q := pattern.ByName("q6")
@@ -84,6 +90,9 @@ func TestSegmentedPeakBelowUnsegmented(t *testing.T) {
 // regression test: under a budget that kills PSgL, RADS completes and
 // reports the correct count. This is the paper's headline claim.
 func TestRobustnessShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second robustness experiment: skipped in -short mode")
+	}
 	g := gen.PowerLaw(700, 8, 2.8, 280, 104)
 	part := partition.KWay(g, 5, 7)
 	q := pattern.ByName("q6")

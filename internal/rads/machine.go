@@ -140,6 +140,9 @@ func (m *machine) run() (err error) {
 
 	// Process own groups; the daemon may give some of them away.
 	for {
+		if err := m.e.checkCtx(); err != nil {
+			return err
+		}
 		g, ok := m.queue.Pop()
 		if !ok {
 			break
@@ -164,6 +167,9 @@ func (m *machine) runSME(c1 []graph.VertexID) error {
 	owned := func(v graph.VertexID) bool { return m.e.part.Owner[v] == int32(m.id) }
 	var totalNodes int64
 	for _, v := range c1 {
+		if err := m.e.checkCtx(); err != nil {
+			return err
+		}
 		st := localenum.Enumerate(m.e.g, m.e.p, localenum.Options{
 			Order:           m.e.pl.Order,
 			Constraints:     m.e.cons,
@@ -227,6 +233,9 @@ func (m *machine) groupSizeFor(target int64) int {
 // until every machine reports zero.
 func (m *machine) stealLoop() error {
 	for {
+		if err := m.e.checkCtx(); err != nil {
+			return err
+		}
 		bestMachine, bestLoad := -1, 0
 		for t := 0; t < m.e.part.M; t++ {
 			if t == m.id {

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"context"
+
+	"rads/internal/cluster"
+	"rads/internal/graph"
+	"rads/internal/harness"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+	"rads/internal/plan"
+)
+
+// EngineRequest is everything the service hands an engine for one
+// query: the resident partition plus per-query accounting objects.
+type EngineRequest struct {
+	Part    *partition.Partition
+	Pattern *pattern.Pattern
+	// Plan is the memoized RADS plan for Pattern (nil for engines that
+	// plan on their own).
+	Plan *plan.Plan
+	// Budget is the per-query memory budget (nil = unlimited).
+	Budget *cluster.MemBudget
+	// Metrics is a fresh per-query metrics object; the service folds
+	// it into its cumulative totals after the run.
+	Metrics *cluster.Metrics
+	// OnEmbedding, when non-nil, must receive every embedding found.
+	// Engines that cannot stream must fail if it is set.
+	OnEmbedding func(machine int, f []graph.VertexID)
+}
+
+// EngineResult is an engine's normalized answer.
+type EngineResult struct {
+	Total   int64
+	Seconds float64
+	OOM     bool // died of the memory budget; not an error
+}
+
+// EngineFunc runs one query. It must honour ctx where it can and be
+// safe for concurrent invocations (the admission scheduler runs up to
+// MaxConcurrent of them at once against the shared partition).
+type EngineFunc func(ctx context.Context, req EngineRequest) (EngineResult, error)
+
+// registerDefaultEngines wires RADS and every baseline the harness
+// knows how to dispatch.
+func registerDefaultEngines(s *Service) {
+	for _, name := range harness.AllEngineNames {
+		s.engines[name] = harnessEngine(name)
+	}
+}
+
+// harnessEngine adapts harness.RunEngine into an EngineFunc.
+func harnessEngine(name string) EngineFunc {
+	return func(ctx context.Context, req EngineRequest) (EngineResult, error) {
+		u := harness.RunEngine(harness.RunSpec{
+			Engine:      name,
+			Part:        req.Part,
+			Query:       req.Pattern,
+			Ctx:         ctx,
+			Plan:        req.Plan,
+			Metrics:     req.Metrics,
+			Budget:      req.Budget,
+			OnEmbedding: req.OnEmbedding,
+		})
+		if u.Err != nil {
+			return EngineResult{}, u.Err
+		}
+		return EngineResult{Total: u.Total, Seconds: u.Seconds, OOM: u.OOM}, nil
+	}
+}

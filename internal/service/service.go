@@ -1,0 +1,555 @@
+// Package service is the resident query layer: a long-lived,
+// concurrency-safe front end over the enumeration engines.
+//
+// Every batch entry point in this repository (radsrun, radsbench, the
+// examples) historically paid the full setup cost per query — load the
+// data graph, partition it, compute border distances, plan the
+// pattern, run, exit. RADS itself is deliberately stateful across
+// rounds (cached adjacency, region groups), and a serving system
+// should be stateful across *queries*: load and partition once, keep
+// the per-machine state resident, and amortize it over millions of
+// requests.
+//
+// A Service owns:
+//
+//   - the partitioned data graph, with per-machine border distances
+//     precomputed (they drive the SM-E split of Proposition 1);
+//   - a plan catalog: RADS execution plans memoized per exact pattern;
+//   - a result cache keyed by the pattern's canonical form, so any
+//     relabeling of an already-answered motif is O(1);
+//   - an admission scheduler: at most MaxConcurrent queries run at
+//     once, excess load queues (FIFO through a semaphore) up to
+//     MaxQueued, and beyond that Submit fails fast with ErrOverloaded
+//     instead of falling over;
+//   - an engine registry routing to RADS and the baseline engines,
+//     extensible via RegisterEngine.
+//
+// Submit returns a Handle immediately; results stream through it.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rads/internal/cluster"
+	"rads/internal/graph"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+	"rads/internal/plan"
+)
+
+// Errors returned by Submit.
+var (
+	ErrClosed     = errors.New("service: closed")
+	ErrOverloaded = errors.New("service: overloaded, queue full")
+)
+
+// MaxPatternVertices bounds accepted query patterns. The paper's
+// largest query has 6 vertices and its running example 10; beyond
+// that enumeration is intractable anyway, and 10 keeps pre-admission
+// canonicalization (exponential worst case; measured <= ~5ms on
+// dense random 10-vertex patterns) too cheap to weaponize over HTTP.
+const MaxPatternVertices = 10
+
+// Config tunes a Service. The zero value gets sensible defaults.
+type Config struct {
+	// Machines is the number of simulated machines the graph is
+	// partitioned across (default 4). Ignored by OpenPartitioned.
+	Machines int
+	// PartitionSeed seeds the KWay partitioner (default 7). Ignored by
+	// OpenPartitioned.
+	PartitionSeed int64
+	// MaxConcurrent caps queries running at once (default 4).
+	MaxConcurrent int
+	// MaxQueued caps queries waiting for admission; Submit returns
+	// ErrOverloaded beyond it (default 64).
+	MaxQueued int
+	// QueryBudgetBytes is the per-machine memory budget granted to each
+	// query (0 = unlimited). Queries that exceed it report OOM in
+	// their Result rather than failing the service.
+	QueryBudgetBytes int64
+	// CacheEntries is the result-cache capacity (default 256;
+	// negative disables caching).
+	CacheEntries int
+	// DefaultEngine answers queries that don't name one (default RADS).
+	DefaultEngine string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines <= 0 {
+		c.Machines = 4
+	}
+	if c.PartitionSeed == 0 {
+		c.PartitionSeed = 7
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultEngine == "" {
+		c.DefaultEngine = "RADS"
+	}
+	return c
+}
+
+// Service is the resident query service. It is safe for concurrent
+// Submit calls.
+type Service struct {
+	cfg   Config
+	part  *partition.Partition
+	start time.Time
+
+	// Partition-quality numbers are immutable; computed once at Open
+	// so /stats polling never rescans the graph's edges.
+	edgeCut int64
+	balance float64
+
+	sem     chan struct{} // admission slots, cap = MaxConcurrent
+	closing chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	engines map[string]EngineFunc
+	plans   map[string]*plan.Plan // exact pattern text -> RADS plan
+	cache   *resultCache
+
+	wg sync.WaitGroup // all query goroutines
+
+	// Cumulative communication across all served queries.
+	commBytes    atomic.Int64
+	commMessages atomic.Int64
+	kindMu       sync.Mutex
+	commByKind   map[string]int64
+
+	// Counters surfaced by Stats.
+	submitted   atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	cancelled   atomic.Int64
+	rejected    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	engineRuns  atomic.Int64
+	running     atomic.Int64
+	queued      atomic.Int64
+}
+
+// Open loads g into a new Service: partitions it across cfg.Machines
+// with the KWay partitioner and warms the per-machine resident state.
+func Open(g *graph.Graph, cfg Config) (*Service, error) {
+	if g == nil || g.NumVertices() == 0 {
+		return nil, errors.New("service: empty data graph")
+	}
+	cfg = cfg.withDefaults()
+	return OpenPartitioned(partition.KWay(g, cfg.Machines, cfg.PartitionSeed), cfg)
+}
+
+// OpenPartitioned builds a Service over an existing partition (callers
+// that partitioned the graph themselves, e.g. with Hash for ablations).
+func OpenPartitioned(part *partition.Partition, cfg Config) (*Service, error) {
+	if part == nil || part.M <= 0 {
+		return nil, errors.New("service: nil or empty partition")
+	}
+	cfg = cfg.withDefaults()
+	cfg.Machines = part.M
+	s := &Service{
+		cfg:        cfg,
+		part:       part,
+		start:      time.Now(),
+		edgeCut:    part.EdgeCut(),
+		balance:    part.Balance(),
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		closing:    make(chan struct{}),
+		engines:    make(map[string]EngineFunc),
+		plans:      make(map[string]*plan.Plan),
+		cache:      newResultCache(cfg.CacheEntries),
+		commByKind: make(map[string]int64),
+	}
+	registerDefaultEngines(s)
+	// Warm the resident state: border distances are query-independent,
+	// so pay each machine's BFS now instead of inside the first query.
+	for t := 0; t < part.M; t++ {
+		part.BorderDistances(t)
+	}
+	return s, nil
+}
+
+// Partition exposes the resident partition (read-only by convention).
+func (s *Service) Partition() *partition.Partition { return s.part }
+
+// RegisterEngine adds (or replaces) an engine under name. Queries name
+// engines by these keys.
+func (s *Service) RegisterEngine(name string, fn EngineFunc) error {
+	if name == "" || fn == nil {
+		return errors.New("service: engine needs a name and a function")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.engines[name] = fn
+	return nil
+}
+
+// Submit enqueues q and returns its Handle immediately. The context
+// governs the query's whole lifetime: cancelling it aborts the query
+// whether it is still queued or already running (engines that support
+// cancellation stop mid-run). Submit itself never blocks on admission.
+func (s *Service) Submit(ctx context.Context, q Query) (*Handle, error) {
+	if q.Pattern == nil {
+		return nil, errors.New("service: query has no pattern")
+	}
+	if n := q.Pattern.N(); n > MaxPatternVertices {
+		return nil, fmt.Errorf("service: pattern %s has %d vertices (max %d)", q.Pattern.Name, n, MaxPatternVertices)
+	}
+	if !q.Pattern.IsConnected() {
+		return nil, fmt.Errorf("service: pattern %s is not connected", q.Pattern.Name)
+	}
+	engineName := q.Engine
+	if engineName == "" {
+		engineName = s.cfg.DefaultEngine
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Canonicalization is pure CPU on the caller's pattern; keep it
+	// outside the service lock so an expensive pattern only costs its
+	// own request, and skip it entirely for queries the cache can
+	// never serve (an empty key disables cache ops downstream).
+	var key string
+	if s.cache != nil && !q.NoCache && !q.Stream {
+		key = q.Pattern.CanonicalKey()
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	engine, ok := s.engines[engineName]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: unknown engine %q", engineName)
+	}
+	s.submitted.Add(1)
+
+	h := newHandle(q, engineName)
+
+	// Fast path: answered motif under any labeling. Streaming queries
+	// skip the cache — embeddings are not cached, only counts.
+	if key != "" {
+		if res, ok := s.cache.get(key); ok {
+			s.cacheHits.Add(1)
+			s.completed.Add(1)
+			s.mu.Unlock()
+			res.Pattern = q.Pattern.Name
+			res.Engine = engineName
+			res.CacheHit = true
+			res.Queued = 0 // this request never queued; don't echo the original run's wait
+			h.complete(res)
+			return h, nil
+		}
+		s.cacheMisses.Add(1)
+	}
+
+	// Admission: grab a free slot right now if one exists; otherwise
+	// join the queue (bounded by MaxQueued). Doing the fast path under
+	// the lock keeps the queued gauge honest — it only ever counts
+	// queries that found every slot taken.
+	admitted := false
+	select {
+	case s.sem <- struct{}{}:
+		admitted = true
+	default:
+		if int(s.queued.Load()) >= s.cfg.MaxQueued {
+			s.rejected.Add(1)
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w (%d waiting)", ErrOverloaded, s.cfg.MaxQueued)
+		}
+		s.queued.Add(1)
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.serve(ctx, h, engine, key, admitted)
+	return h, nil
+}
+
+// serve runs one admitted-or-queued query to completion.
+func (s *Service) serve(ctx context.Context, h *Handle, engine EngineFunc, key string, admitted bool) {
+	defer s.wg.Done()
+	enqueued := time.Now()
+
+	if !admitted {
+		// Wait for a slot, the client giving up, or shutdown.
+		select {
+		case s.sem <- struct{}{}:
+			// Winning a slot races with shutdown: if Close already
+			// began, honour its contract (queued queries fail) rather
+			// than letting a freed slot sneak this query through.
+			select {
+			case <-s.closing:
+				<-s.sem
+				s.queued.Add(-1)
+				s.failed.Add(1)
+				h.fail(ErrClosed)
+				return
+			default:
+			}
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			s.cancelled.Add(1)
+			h.fail(fmt.Errorf("service: query %q cancelled while queued: %w", h.query.Pattern.Name, ctx.Err()))
+			return
+		case <-s.closing:
+			s.queued.Add(-1)
+			s.failed.Add(1)
+			h.fail(ErrClosed)
+			return
+		}
+		s.queued.Add(-1)
+	}
+	s.running.Add(1)
+	defer func() {
+		s.running.Add(-1)
+		<-s.sem
+	}()
+	queuedFor := time.Since(enqueued)
+
+	// Re-check the cache: an identical motif may have completed while
+	// this query waited in the queue.
+	if key != "" {
+		if res, ok := s.cache.get(key); ok {
+			s.cacheHits.Add(1)
+			s.completed.Add(1)
+			res.Pattern = h.query.Pattern.Name
+			res.Engine = h.engine
+			res.CacheHit = true
+			res.Queued = queuedFor
+			h.complete(res)
+			return
+		}
+	}
+
+	req := EngineRequest{
+		Part:    s.part,
+		Pattern: h.query.Pattern,
+		Metrics: cluster.NewMetrics(s.part.M),
+	}
+	if s.cfg.QueryBudgetBytes > 0 {
+		req.Budget = cluster.NewMemBudget(s.part.M, s.cfg.QueryBudgetBytes)
+	}
+	if h.engine == "RADS" {
+		pl, err := s.planFor(h.query.Pattern)
+		if err != nil {
+			s.failed.Add(1)
+			h.fail(err)
+			return
+		}
+		req.Plan = pl
+	}
+	if h.query.Stream {
+		req.OnEmbedding = func(machine int, f []graph.VertexID) {
+			cp := append([]graph.VertexID(nil), f...)
+			select {
+			case h.emb <- cp:
+			case <-ctx.Done():
+			}
+		}
+	}
+
+	s.engineRuns.Add(1)
+	res, err := engine(ctx, req)
+	s.accountComm(req.Metrics)
+	if err != nil {
+		// A context cancellation is the client's doing (disconnect or
+		// deliberate stream truncation), not a service failure.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.cancelled.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+		h.fail(fmt.Errorf("service: engine %s on %s: %w", h.engine, h.query.Pattern.Name, err))
+		return
+	}
+
+	out := Result{
+		Pattern:   h.query.Pattern.Name,
+		Canonical: key,
+		Engine:    h.engine,
+		Total:     res.Total,
+		Seconds:   res.Seconds,
+		CommMB:    float64(req.Metrics.TotalBytes()) / (1 << 20),
+		OOM:       res.OOM,
+		Queued:    queuedFor,
+	}
+	if req.Budget != nil {
+		out.PeakMB = float64(req.Budget.MaxPeak()) / (1 << 20)
+	}
+	// Cache completed counts only: an OOM verdict depends on the
+	// budget, not the pattern, and streams were never materialized.
+	if key != "" && !res.OOM {
+		s.cache.put(key, out)
+	}
+	s.completed.Add(1)
+	h.complete(out)
+}
+
+// maxPlansCached bounds the plan catalog. Plans are pure memoization,
+// so when the catalog fills up it is simply reset — correctness never
+// depends on a hit.
+const maxPlansCached = 512
+
+// planKey is the structural identity of a labeled pattern: vertex
+// count plus sorted edge list. Deliberately *not* pattern.Format,
+// which embeds the client-chosen Name — keying on that would let HTTP
+// clients mint unbounded distinct keys for one graph.
+func planKey(p *pattern.Pattern) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", p.N())
+	for i, e := range p.Edges() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d-%d", e[0], e[1])
+	}
+	return b.String()
+}
+
+// planFor memoizes RADS execution plans by labeled structure. Unlike
+// counts, plans are *not* isomorphism-invariant — the matching order
+// names concrete vertex IDs — so the catalog keys on planKey, not
+// CanonicalKey.
+func (s *Service) planFor(p *pattern.Pattern) (*plan.Plan, error) {
+	key := planKey(p)
+	s.mu.Lock()
+	if pl, ok := s.plans[key]; ok {
+		s.mu.Unlock()
+		return pl, nil
+	}
+	s.mu.Unlock()
+	pl, err := plan.Compute(p)
+	if err != nil {
+		return nil, fmt.Errorf("service: planning %s: %w", p.Name, err)
+	}
+	s.mu.Lock()
+	if len(s.plans) >= maxPlansCached {
+		s.plans = make(map[string]*plan.Plan)
+	}
+	s.plans[key] = pl
+	s.mu.Unlock()
+	return pl, nil
+}
+
+func (s *Service) accountComm(m *cluster.Metrics) {
+	if m == nil {
+		return
+	}
+	s.commBytes.Add(m.TotalBytes())
+	s.commMessages.Add(m.TotalMessages())
+	s.kindMu.Lock()
+	for k, v := range m.ByKind() {
+		s.commByKind[k] += v
+	}
+	s.kindMu.Unlock()
+}
+
+// Close stops admitting queries, fails everything still queued with
+// ErrClosed, waits for running queries to finish, and returns. It is
+// idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.closing)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the service, the /stats payload
+// of radserve.
+type Stats struct {
+	Machines  int     `json:"machines"`
+	Vertices  int     `json:"vertices"`
+	Edges     int64   `json:"edges"`
+	EdgeCut   int64   `json:"edge_cut"`
+	Balance   float64 `json:"balance"`
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Submitted  int64 `json:"submitted"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Cancelled  int64 `json:"cancelled"`
+	Rejected   int64 `json:"rejected"`
+	Running    int64 `json:"running"`
+	Queued     int64 `json:"queued"`
+	EngineRuns int64 `json:"engine_runs"`
+
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	PlansCached  int   `json:"plans_cached"`
+
+	CommBytes    int64            `json:"comm_bytes"`
+	CommMessages int64            `json:"comm_messages"`
+	CommByKind   map[string]int64 `json:"comm_by_kind,omitempty"`
+
+	Engines []string `json:"engines"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Machines:     s.part.M,
+		Vertices:     s.part.G.NumVertices(),
+		Edges:        int64(s.part.G.NumEdges()),
+		EdgeCut:      s.edgeCut,
+		Balance:      s.balance,
+		UptimeSec:    time.Since(s.start).Seconds(),
+		Submitted:    s.submitted.Load(),
+		Completed:    s.completed.Load(),
+		Failed:       s.failed.Load(),
+		Cancelled:    s.cancelled.Load(),
+		Rejected:     s.rejected.Load(),
+		Running:      s.running.Load(),
+		Queued:       s.queued.Load(),
+		EngineRuns:   s.engineRuns.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		CacheMisses:  s.cacheMisses.Load(),
+		CommBytes:    s.commBytes.Load(),
+		CommMessages: s.commMessages.Load(),
+		CommByKind:   make(map[string]int64),
+	}
+	s.kindMu.Lock()
+	for k, v := range s.commByKind {
+		st.CommByKind[k] += v
+	}
+	s.kindMu.Unlock()
+	s.mu.Lock()
+	st.PlansCached = len(s.plans)
+	if s.cache != nil {
+		st.CacheEntries = s.cache.len()
+	}
+	for name := range s.engines {
+		st.Engines = append(st.Engines, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(st.Engines)
+	return st
+}
