@@ -12,6 +12,7 @@
 //
 //	GET  /query?pattern=triangle[&engine=RADS][&nocache=1]
 //	POST /query    {"pattern":"triangle","engine":"RADS","stream":true,"limit":100}
+//	GET  /engines  registered engines with their declared capabilities
 //	GET  /stats    service counters, cache and communication totals
 //	GET  /patterns built-in pattern names and the free-form syntax
 //	GET  /healthz
@@ -32,8 +33,10 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
+	"rads/internal/engine"
 	"rads/internal/graph"
 	"rads/internal/harness"
 	"rads/internal/pattern"
@@ -51,16 +54,21 @@ func main() {
 		maxQueued     = flag.Int("max-queued", 64, "queries waiting before 503")
 		budgetMB      = flag.Int64("budget-mb", 0, "per-machine memory budget per query in MiB (0 = unlimited)")
 		cacheEntries  = flag.Int("cache", 256, "result-cache capacity (negative disables)")
-		engine        = flag.String("engine", "RADS", "default engine")
+		defEngine     = flag.String("engine", "RADS", "default engine ("+strings.Join(engine.Names(), " ")+")")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataset, *graphFile, *scale, *machines, *maxConcurrent, *maxQueued, *budgetMB, *cacheEntries, *engine); err != nil {
+	if err := run(*addr, *dataset, *graphFile, *scale, *machines, *maxConcurrent, *maxQueued, *budgetMB, *cacheEntries, *defEngine); err != nil {
 		fmt.Fprintln(os.Stderr, "radserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataset, graphFile string, scale float64, machines, maxConcurrent, maxQueued int, budgetMB int64, cacheEntries int, engine string) error {
+func run(addr, dataset, graphFile string, scale float64, machines, maxConcurrent, maxQueued int, budgetMB int64, cacheEntries int, defEngine string) error {
+	// Fail on a bad default engine now, before the expensive graph
+	// load and partitioning, not on the first query.
+	if _, ok := engine.Lookup(defEngine); !ok {
+		return fmt.Errorf("unknown default engine %q (registered: %s)", defEngine, strings.Join(engine.Names(), " "))
+	}
 	var g *graph.Graph
 	var source string
 	if graphFile != "" {
@@ -91,7 +99,7 @@ func run(addr, dataset, graphFile string, scale float64, machines, maxConcurrent
 		MaxQueued:        maxQueued,
 		QueryBudgetBytes: budgetMB << 20,
 		CacheEntries:     cacheEntries,
-		DefaultEngine:    engine,
+		DefaultEngine:    defEngine,
 	})
 	if err != nil {
 		return err
@@ -110,6 +118,7 @@ func newMux(svc *service.Service) *http.ServeMux {
 	s := &server{svc: svc}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/engines", s.handleEngines)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/patterns", s.handlePatterns)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -178,6 +187,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, err)
 		default:
+			// Includes engine.ErrUnsupported (e.g. streaming from an
+			// engine whose capabilities lack it): the client asked for
+			// something this engine declaredly cannot do.
 			writeError(w, http.StatusBadRequest, err)
 		}
 		return
@@ -240,6 +252,16 @@ func (s *server) streamResponse(w http.ResponseWriter, ctx context.Context, canc
 		delete(payload, "total") // unknown: the engine was stopped early
 	}
 	enc.Encode(map[string]any{"result": payload})
+}
+
+// handleEngines lists the engines this service routes to, with the
+// capabilities each declared through the engine API.
+func (s *server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"engines": s.svc.Engines()})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

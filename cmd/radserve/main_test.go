@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -108,6 +109,63 @@ func TestCacheHitOverHTTP(t *testing.T) {
 	}
 	if first["total"] != second["total"] {
 		t.Fatalf("cached total %v != original %v", second["total"], first["total"])
+	}
+}
+
+// TestEnginesEndpoint checks GET /engines lists every registered
+// engine with its declared capabilities.
+func TestEnginesEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+
+	var payload struct {
+		Engines []service.EngineInfo `json:"engines"`
+	}
+	resp := getJSON(t, ts.URL+"/engines", &payload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	byName := make(map[string]service.EngineInfo)
+	for _, e := range payload.Engines {
+		byName[e.Name] = e
+	}
+	for _, name := range []string{"RADS", "PSgL", "TwinTwig", "SEED", "Crystal", "BigJoin"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("engine %s missing from /engines: %v", name, payload.Engines)
+		}
+	}
+	rads := byName["RADS"]
+	if !rads.Streaming || !rads.Cancellation || !rads.PreparedArtifacts || !rads.Default {
+		t.Errorf("RADS capabilities wrong: %+v", rads)
+	}
+	psgl := byName["PSgL"]
+	if psgl.Streaming || !psgl.Cancellation {
+		t.Errorf("PSgL capabilities wrong: %+v", psgl)
+	}
+	crystal := byName["Crystal"]
+	if !crystal.PreparedArtifacts || crystal.ArtifactScope != "canonical" {
+		t.Errorf("Crystal capabilities wrong: %+v", crystal)
+	}
+}
+
+// TestStreamUnsupportedEngineRejected asks a non-streaming engine for
+// a stream and expects a 400 from the capability check, not a mid-run
+// failure.
+func TestStreamUnsupportedEngineRejected(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/query?pattern=triangle&engine=SEED&stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body["error"], "stream") {
+		t.Errorf("error %q does not mention streaming", body["error"])
 	}
 }
 

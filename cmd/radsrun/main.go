@@ -17,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"rads/internal/engine"
 	"rads/internal/graph"
 	"rads/internal/harness"
 	"rads/internal/partition"
@@ -27,25 +29,28 @@ import (
 
 func main() {
 	var (
-		dataset   = flag.String("dataset", "DBLP", "built-in dataset analog (RoadNet DBLP LiveJournal UK2002)")
-		graphFile = flag.String("graph", "", "edge-list file overriding -dataset")
-		queryName = flag.String("query", "q1", "query name (q1..q8, cq1..cq4, triangle, fig2)")
-		engine    = flag.String("engine", "RADS", "engine (RADS PSgL TwinTwig SEED Crystal BigJoin)")
-		machines  = flag.Int("machines", 10, "number of simulated machines")
-		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
-		budgetMB  = flag.Int64("budget-mb", 0, "per-machine memory budget in MiB (0 = unlimited)")
+		dataset    = flag.String("dataset", "DBLP", "built-in dataset analog (RoadNet DBLP LiveJournal UK2002)")
+		graphFile  = flag.String("graph", "", "edge-list file overriding -dataset")
+		queryName  = flag.String("query", "q1", "query name (q1..q8, cq1..cq4, triangle, fig2)")
+		engineName = flag.String("engine", "RADS", "engine ("+strings.Join(engine.Names(), " ")+")")
+		machines   = flag.Int("machines", 10, "number of simulated machines")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
+		budgetMB   = flag.Int64("budget-mb", 0, "per-machine memory budget in MiB (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *graphFile, *queryName, *engine, *machines, *scale, *budgetMB); err != nil {
+	if err := run(*dataset, *graphFile, *queryName, *engineName, *machines, *scale, *budgetMB); err != nil {
 		fmt.Fprintln(os.Stderr, "radsrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, graphFile, queryName, engine string, machines int, scale float64, budgetMB int64) error {
+func run(dataset, graphFile, queryName, engineName string, machines int, scale float64, budgetMB int64) error {
 	q := pattern.ByName(queryName)
 	if q == nil {
 		return fmt.Errorf("unknown query %q", queryName)
+	}
+	if _, ok := engine.Lookup(engineName); !ok {
+		return fmt.Errorf("unknown engine %q (registered: %s)", engineName, strings.Join(engine.Names(), " "))
 	}
 	var g *graph.Graph
 	if graphFile != "" {
@@ -81,7 +86,7 @@ func run(dataset, graphFile, queryName, engine string, machines int, scale float
 	}
 	defer svc.Close()
 
-	h, err := svc.Submit(context.Background(), service.Query{Pattern: q, Engine: engine})
+	h, err := svc.Submit(context.Background(), service.Query{Pattern: q, Engine: engineName})
 	if err != nil {
 		return err
 	}
@@ -90,7 +95,7 @@ func run(dataset, graphFile, queryName, engine string, machines int, scale float
 		return err
 	}
 	if res.OOM {
-		fmt.Printf("%s on %s: OUT OF MEMORY under %d MiB/machine\n", engine, queryName, budgetMB)
+		fmt.Printf("%s on %s: OUT OF MEMORY under %d MiB/machine\n", engineName, queryName, budgetMB)
 		return nil
 	}
 	fmt.Printf("%s on %s: %d embeddings in %.3fs, %.3f MB communicated\n",

@@ -1,7 +1,8 @@
 // Quickstart: open the resident query service over a small community
 // graph, enumerate triangles with RADS across 4 simulated machines,
-// show the result cache answering a repeated motif, and cross-check
-// the count against the single-machine enumerator.
+// cross-check the same count through a baseline engine resolved from
+// the engine registry, show the result cache answering a repeated
+// motif, and verify against the single-machine enumerator.
 //
 //	go run ./examples/quickstart
 package main
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"log"
 
+	"rads/internal/engine"
 	"rads/internal/gen"
 	"rads/internal/localenum"
 	"rads/internal/pattern"
@@ -45,6 +47,23 @@ func main() {
 	}
 	fmt.Printf("RADS found %d triangles in %.3fs (%.3f MB communicated)\n",
 		res.Total, res.Seconds, res.CommMB)
+
+	// 3b. Every engine reaches the service through the same registry
+	// API; ask a shuffle-and-cache baseline for the same motif and it
+	// must agree (the cache is bypassed so SEED really runs).
+	fmt.Printf("registered engines: %v\n", engine.Names())
+	hs, err := svc.Submit(context.Background(), service.Query{Pattern: q, Engine: "SEED", NoCache: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := hs.Result(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rs.Total != res.Total {
+		log.Fatalf("SEED disagrees with RADS: %d vs %d", rs.Total, res.Total)
+	}
+	fmt.Printf("SEED agrees: %d triangles\n", rs.Total)
 
 	// 4. The result cache keys on the *canonical* form: enumerate a
 	// path-of-three motif, then resubmit it under a genuinely

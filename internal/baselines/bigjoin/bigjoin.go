@@ -26,7 +26,7 @@ import (
 // Run enumerates p with the BigJoin strategy.
 func Run(part *partition.Partition, p *pattern.Pattern, cfg common.Config) (*common.Result, error) {
 	start := time.Now()
-	rt := common.NewRuntime(part.M, cfg.Transport, cfg.Metrics, cfg.Budget)
+	rt := common.NewRuntime(part.M, cfg)
 	defer rt.Close()
 	g := part.G
 	n := p.N()

@@ -9,6 +9,7 @@
 package common
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -54,22 +55,25 @@ type Runtime struct {
 	Tr      cluster.Transport
 	Metrics *cluster.Metrics
 	Budget  *cluster.MemBudget
+	ctx     context.Context
 	inboxes []*Inbox
 	ownTr   bool
 }
 
-// NewRuntime builds the dataflow runtime. If tr is nil an in-process
-// transport is created (and closed by Close).
-func NewRuntime(m int, tr cluster.Transport, metrics *cluster.Metrics, budget *cluster.MemBudget) *Runtime {
+// NewRuntime builds the dataflow runtime from cfg. If cfg.Transport is
+// nil an in-process transport is created (and closed by Close).
+func NewRuntime(m int, cfg Config) *Runtime {
+	metrics := cfg.Metrics
 	if metrics == nil {
 		metrics = cluster.NewMetrics(m)
 	}
+	tr := cfg.Transport
 	own := false
 	if tr == nil {
 		tr = cluster.NewLocalTransport(metrics)
 		own = true
 	}
-	rt := &Runtime{M: m, Tr: tr, Metrics: metrics, Budget: budget, ownTr: own}
+	rt := &Runtime{M: m, Tr: tr, Metrics: metrics, Budget: cfg.Budget, ctx: cfg.Context, ownTr: own}
 	for i := 0; i < m; i++ {
 		inbox := &Inbox{}
 		rt.inboxes = append(rt.inboxes, inbox)
@@ -98,8 +102,17 @@ func (rt *Runtime) Inbox(id int) *Inbox { return rt.inboxes[id] }
 
 // Superstep runs fn concurrently on every machine and barriers until
 // all complete — the synchronization delay the paper attributes to
-// these systems. The first error aborts the run.
+// these systems. The first error aborts the run. A configured context
+// is checked at the barrier: once it is cancelled the next superstep
+// refuses to start and the run unwinds with the context's error
+// (returned as-is, so errors.Is(err, context.Canceled) holds), which
+// is what makes every baseline engine cancellable between rounds.
 func (rt *Runtime) Superstep(fn func(id int) error) error {
+	if rt.ctx != nil {
+		if err := rt.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, rt.M)
 	for i := 0; i < rt.M; i++ {
@@ -227,11 +240,17 @@ func Oracle(g *graph.Graph, p *pattern.Pattern) int64 {
 }
 
 // Config configures a baseline run; the zero value uses an in-process
-// transport, fresh metrics, and no memory budget.
+// transport, fresh metrics, no memory budget, and no cancellation.
 type Config struct {
 	Transport cluster.Transport
 	Metrics   *cluster.Metrics
 	Budget    *cluster.MemBudget
+	// Context, if non-nil, cancels the run between supersteps: the
+	// runtime checks it at every barrier and the run unwinds with the
+	// context's error. Long-lived callers (the resident query service)
+	// use this to abort queries whose client has gone away — the
+	// paper's baselines had no such story.
+	Context context.Context
 }
 
 // Result is the uniform baseline result record; the harness compares

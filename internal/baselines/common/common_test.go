@@ -1,6 +1,7 @@
 package common
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestInboxPutDrain(t *testing.T) {
 }
 
 func TestRuntimeShuffleDelivers(t *testing.T) {
-	rt := NewRuntime(3, nil, nil, nil)
+	rt := NewRuntime(3, Config{})
 	defer rt.Close()
 	err := rt.Superstep(func(id int) error {
 		if id != 0 {
@@ -55,7 +56,7 @@ func TestRuntimeShuffleDelivers(t *testing.T) {
 }
 
 func TestSuperstepPropagatesError(t *testing.T) {
-	rt := NewRuntime(2, nil, nil, nil)
+	rt := NewRuntime(2, Config{})
 	defer rt.Close()
 	boom := errors.New("boom")
 	err := rt.Superstep(func(id int) error {
@@ -71,7 +72,7 @@ func TestSuperstepPropagatesError(t *testing.T) {
 
 func TestChargerChunksAndReleases(t *testing.T) {
 	budget := cluster.NewMemBudget(1, 1<<20)
-	rt := NewRuntime(1, nil, nil, budget)
+	rt := NewRuntime(1, Config{Budget: budget})
 	defer rt.Close()
 	c := rt.NewCharger(0, 4)
 	for i := 0; i < 100; i++ {
@@ -93,7 +94,7 @@ func TestChargerChunksAndReleases(t *testing.T) {
 
 func TestChargerAbortsMidProduction(t *testing.T) {
 	budget := cluster.NewMemBudget(1, 10*RowBytes(4))
-	rt := NewRuntime(1, nil, nil, budget)
+	rt := NewRuntime(1, Config{Budget: budget})
 	defer rt.Close()
 	c := rt.NewCharger(0, 4)
 	var err error
@@ -149,8 +150,25 @@ func TestOracleHelper(t *testing.T) {
 	}
 }
 
+func TestSuperstepHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	rt := NewRuntime(2, Config{Context: ctx})
+	defer rt.Close()
+	if err := rt.Superstep(func(id int) error { return nil }); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	cancel()
+	err := rt.Superstep(func(id int) error {
+		t.Error("superstep body ran after cancellation")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
 func TestRuntimeRejectsNonShuffle(t *testing.T) {
-	rt := NewRuntime(2, nil, nil, nil)
+	rt := NewRuntime(2, Config{})
 	defer rt.Close()
 	if _, err := rt.Tr.Call(0, 1, &cluster.CheckRRequest{}); err == nil {
 		t.Error("baseline machines must reject non-shuffle requests")

@@ -175,13 +175,13 @@ type compressed struct {
 // harness does too, so benchmarks charge only query time).
 func Run(part *partition.Partition, p *pattern.Pattern, cfg Config) (*common.Result, error) {
 	start := time.Now()
-	rt := common.NewRuntime(part.M, cfg.Transport, cfg.Metrics, cfg.Budget)
+	rt := common.NewRuntime(part.M, cfg.Config)
 	defer rt.Close()
 	g := part.G
 
 	idx := cfg.Index
 	if idx == nil {
-		idx = BuildIndex(g, maxNeeded(p))
+		idx = BuildIndex(g, IndexSizeFor(p))
 	}
 
 	core := Core(p)
@@ -368,9 +368,12 @@ type Config struct {
 	Index *Index
 }
 
-// maxNeeded returns the index depth a query requires: the size of its
-// largest clique (at least 3 so triangles are always available).
-func maxNeeded(p *pattern.Pattern) int {
+// IndexSizeFor returns the index depth a query requires: the size of
+// its largest clique (at least 3 so triangles are always available).
+// It is the single source of truth for how deep an index must be
+// built — preparers (the engine-API wiring) must use it so a
+// preprepared index is never shallower than Run assumes.
+func IndexSizeFor(p *pattern.Pattern) int {
 	mc := p.MaxCliqueSize()
 	if mc < 3 {
 		return 3

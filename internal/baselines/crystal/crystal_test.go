@@ -156,11 +156,11 @@ func TestSortCoreAscending(t *testing.T) {
 }
 
 func TestMaxNeeded(t *testing.T) {
-	// cq4 contains a K5 per the reconstruction notes; maxNeeded must be
+	// cq4 contains a K5 per the reconstruction notes; IndexSizeFor must be
 	// large enough for the biggest clique Run will look up.
 	for _, p := range pattern.CliqueQuerySet() {
-		if got := maxNeeded(p); got < p.MaxCliqueSize() && got < 2 {
-			t.Errorf("%s: maxNeeded = %d < clique size %d", p.Name, got, p.MaxCliqueSize())
+		if got := IndexSizeFor(p); got < p.MaxCliqueSize() {
+			t.Errorf("%s: IndexSizeFor = %d < clique size %d", p.Name, got, p.MaxCliqueSize())
 		}
 	}
 }

@@ -24,7 +24,7 @@ import (
 // and returns the uniform baseline result.
 func Run(part *partition.Partition, p *pattern.Pattern, cfg common.Config) (*common.Result, error) {
 	start := time.Now()
-	rt := common.NewRuntime(part.M, cfg.Transport, cfg.Metrics, cfg.Budget)
+	rt := common.NewRuntime(part.M, cfg)
 	defer rt.Close()
 
 	order := localenum.GreedyOrder(p)

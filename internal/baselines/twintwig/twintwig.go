@@ -116,7 +116,7 @@ func unitsToJoin(units []Unit) []JoinUnit {
 // SEED (SEED passes richer units).
 func RunJoin(part *partition.Partition, p *pattern.Pattern, units []JoinUnit, cfg common.Config) (*common.Result, error) {
 	start := time.Now()
-	rt := common.NewRuntime(part.M, cfg.Transport, cfg.Metrics, cfg.Budget)
+	rt := common.NewRuntime(part.M, cfg)
 	defer rt.Close()
 	g := part.G
 	check := common.NewConstraintChecker(p)

@@ -1,0 +1,15 @@
+// Package all registers every built-in enumeration engine with the
+// engine registry, in the manner of image-format drivers: import it
+// for its side effects.
+//
+//	import _ "rads/internal/engine/all"
+//
+// After the import, engine.Names() lists RADS plus the five baselines
+// (BigJoin, Crystal, PSgL, SEED, TwinTwig) and engine.Lookup resolves
+// each of them.
+package all
+
+import (
+	_ "rads/internal/baselines" // PSgL, TwinTwig, SEED, Crystal, BigJoin
+	_ "rads/internal/rads"      // RADS
+)

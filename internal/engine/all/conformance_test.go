@@ -1,0 +1,184 @@
+// Conformance suite for the engine API: every registered engine must
+// agree with the single-machine oracle on small queries, honour
+// cancellation promptly when it declares the capability, surface
+// memory-budget death as Result.OOM rather than an error, and produce
+// identical counts with and without its prepared artifact.
+package all_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rads/internal/cluster"
+	"rads/internal/engine"
+	_ "rads/internal/engine/all"
+	"rads/internal/gen"
+	"rads/internal/graph"
+	"rads/internal/localenum"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+)
+
+// conformancePart builds the shared seeded random partition: a
+// community graph (triangle-rich, so every query has work to do)
+// split across 4 machines.
+func conformancePart(t *testing.T) *partition.Partition {
+	t.Helper()
+	g := gen.Community(6, 20, 0.3, 99)
+	return partition.KWay(g, 4, 7)
+}
+
+func conformanceQueries() []*pattern.Pattern {
+	return []*pattern.Pattern{
+		pattern.Triangle(),
+		pattern.New("square", 4, 0, 1, 1, 2, 2, 3, 3, 0),
+	}
+}
+
+func TestAllEnginesRegistered(t *testing.T) {
+	names := engine.Names()
+	want := []string{"BigJoin", "Crystal", "PSgL", "RADS", "SEED", "TwinTwig"}
+	if len(names) < len(want) {
+		t.Fatalf("registry has %v, want at least %v", names, want)
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("engine %s not registered", n)
+		}
+	}
+}
+
+// TestConformanceCounts runs every registered engine on every
+// conformance query, with and without prepared artifacts, and checks
+// all counts against the single-machine oracle.
+func TestConformanceCounts(t *testing.T) {
+	part := conformancePart(t)
+	for _, q := range conformanceQueries() {
+		want := localenum.Count(part.G, q, localenum.Options{})
+		if want == 0 {
+			t.Fatalf("%s: oracle found nothing; conformance graph too sparse", q.Name)
+		}
+		for _, name := range engine.Names() {
+			e, ok := engine.Lookup(name)
+			if !ok {
+				t.Fatalf("Lookup(%q) failed", name)
+			}
+			// Cold run: no artifact, the engine prepares internally.
+			res, err := e.Run(context.Background(), engine.Request{Part: part, Pattern: q})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, q.Name, err)
+			}
+			if res.OOM {
+				t.Fatalf("%s/%s: OOM with no budget", name, q.Name)
+			}
+			if res.Total != want {
+				t.Errorf("%s/%s: count %d, oracle says %d", name, q.Name, res.Total, want)
+			}
+			if !e.Capabilities().PreparedArtifacts() {
+				continue
+			}
+			// Warm run: through Prepare, must not change the answer.
+			art, err := e.Prepare(part, q)
+			if err != nil {
+				t.Fatalf("%s/%s: Prepare: %v", name, q.Name, err)
+			}
+			if art == nil {
+				t.Fatalf("%s declares artifacts but Prepare returned nil", name)
+			}
+			if art.SizeBytes() <= 0 {
+				t.Errorf("%s/%s: artifact reports %d bytes", name, q.Name, art.SizeBytes())
+			}
+			res2, err := e.Run(context.Background(), engine.Request{Part: part, Pattern: q, Artifact: art})
+			if err != nil {
+				t.Fatalf("%s/%s (prepared): %v", name, q.Name, err)
+			}
+			if res2.Total != want {
+				t.Errorf("%s/%s (prepared): count %d, oracle says %d", name, q.Name, res2.Total, want)
+			}
+		}
+	}
+}
+
+// TestConformanceCancellation checks that every engine declaring the
+// Cancellation capability returns context.Canceled promptly when its
+// context is already dead.
+func TestConformanceCancellation(t *testing.T) {
+	part := conformancePart(t)
+	q := pattern.Triangle()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range engine.Names() {
+		e, _ := engine.Lookup(name)
+		if !e.Capabilities().Cancellation {
+			t.Errorf("%s does not declare cancellation; every built-in engine must", name)
+			continue
+		}
+		start := time.Now()
+		_, err := e.Run(ctx, engine.Request{Part: part, Pattern: q})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Errorf("%s: cancellation took %v, want prompt return", name, d)
+		}
+	}
+}
+
+// TestConformanceOOM gives every engine a budget far below what the
+// query needs and requires the failure to surface as Result.OOM with a
+// nil error — never as an ErrOutOfMemory-typed error. Engines robust
+// enough to finish under the budget (RADS's region-group splitting is
+// the paper's whole point) must instead report the correct count.
+func TestConformanceOOM(t *testing.T) {
+	part := conformancePart(t)
+	q := pattern.New("square", 4, 0, 1, 1, 2, 2, 3, 3, 0)
+	want := localenum.Count(part.G, q, localenum.Options{})
+	for _, name := range engine.Names() {
+		e, _ := engine.Lookup(name)
+		budget := cluster.NewMemBudget(part.M, 2<<10)
+		res, err := e.Run(context.Background(), engine.Request{Part: part, Pattern: q, Budget: budget})
+		if err != nil {
+			t.Errorf("%s: budget death leaked as error: %v", name, err)
+			continue
+		}
+		if !res.OOM && res.Total != want {
+			t.Errorf("%s: completed under budget but count %d != oracle %d", name, res.Total, want)
+		}
+	}
+}
+
+// TestConformanceStreaming checks the Streaming capability both ways:
+// engines declaring it must deliver exactly the counted embeddings,
+// engines without it must reject OnEmbedding with ErrUnsupported.
+func TestConformanceStreaming(t *testing.T) {
+	part := conformancePart(t)
+	q := pattern.Triangle()
+	want := localenum.Count(part.G, q, localenum.Options{})
+	for _, name := range engine.Names() {
+		e, _ := engine.Lookup(name)
+		var streamed atomic.Int64
+		req := engine.Request{Part: part, Pattern: q, OnEmbedding: func(machine int, f []graph.VertexID) {
+			streamed.Add(1)
+		}}
+		res, err := e.Run(context.Background(), req)
+		if !e.Capabilities().Streaming {
+			if !errors.Is(err, engine.ErrUnsupported) {
+				t.Errorf("%s: streaming request: err = %v, want ErrUnsupported", name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if streamed.Load() != res.Total || res.Total != want {
+			t.Errorf("%s: streamed %d, counted %d, oracle %d", name, streamed.Load(), res.Total, want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The process-wide engine registry. Engine wiring packages call
+// Register from init; importing rads/internal/engine/all (blank) pulls
+// in every built-in engine.
+var registry = struct {
+	sync.RWMutex
+	m map[string]Engine
+}{m: make(map[string]Engine)}
+
+// Register adds e under e.Name(). It panics on an empty name or a
+// duplicate registration — both are wiring bugs, caught at package
+// init, not conditions a caller can handle.
+func Register(e Engine) {
+	if e == nil || e.Name() == "" {
+		panic("engine: Register with nil engine or empty name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[e.Name()]; dup {
+		panic(fmt.Sprintf("engine: duplicate registration of %q", e.Name()))
+	}
+	registry.m[e.Name()] = e
+}
+
+// Lookup resolves a registered engine by name.
+func Lookup(name string) (Engine, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	e, ok := registry.m[name]
+	return e, ok
+}
+
+// Names returns every registered engine name, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

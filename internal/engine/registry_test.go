@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"rads/internal/gen"
+	"rads/internal/graph"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+)
+
+// fakeEngine is a minimal Engine for registry and cache tests.
+type fakeEngine struct {
+	name     string
+	caps     Capabilities
+	prepares *int // counts Prepare calls when non-nil
+	mu       sync.Mutex
+}
+
+type fakeArtifact struct{ bytes int64 }
+
+func (a fakeArtifact) SizeBytes() int64 { return a.bytes }
+
+func (f *fakeEngine) Name() string               { return f.name }
+func (f *fakeEngine) Capabilities() Capabilities { return f.caps }
+
+func (f *fakeEngine) Prepare(_ *partition.Partition, _ *pattern.Pattern) (Artifact, error) {
+	if f.prepares != nil {
+		f.mu.Lock()
+		*f.prepares++
+		f.mu.Unlock()
+	}
+	if f.caps.ArtifactScope == ArtifactNone {
+		return nil, nil
+	}
+	return fakeArtifact{bytes: 64}, nil
+}
+
+func (f *fakeEngine) Run(_ context.Context, _ Request) (Result, error) {
+	return Result{}, nil
+}
+
+func TestRegisterLookupNames(t *testing.T) {
+	e := &fakeEngine{name: "fake-registry-test"}
+	Register(e)
+	got, ok := Lookup("fake-registry-test")
+	if !ok || got != Engine(e) {
+		t.Fatalf("Lookup = %v, %v", got, ok)
+	}
+	found := false
+	for _, name := range Names() {
+		if name == "fake-registry-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() = %v misses the registered engine", Names())
+	}
+	if _, ok := Lookup("no-such-engine"); ok {
+		t.Error("Lookup of unregistered name succeeded")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(&fakeEngine{name: "fake-dup-test"})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(&fakeEngine{name: "fake-dup-test"})
+}
+
+func TestValidateRequestStreaming(t *testing.T) {
+	cannot := &fakeEngine{name: "x", caps: Capabilities{}}
+	can := &fakeEngine{name: "y", caps: Capabilities{Streaming: true}}
+	req := Request{OnEmbedding: func(int, []graph.VertexID) {}}
+	if err := ValidateRequest(cannot, req); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("non-streaming engine: err = %v, want ErrUnsupported", err)
+	}
+	if err := ValidateRequest(can, req); err != nil {
+		t.Errorf("streaming engine: err = %v", err)
+	}
+	if err := ValidateRequest(cannot, Request{}); err != nil {
+		t.Errorf("no options: err = %v", err)
+	}
+}
+
+func TestArtifactCacheScopes(t *testing.T) {
+	g := gen.Clique(6)
+	part := partition.Hash(g, 2)
+	// Two distinct labelings of one motif (vee with different centres).
+	vee := pattern.New("vee", 3, 0, 1, 1, 2)
+	veeRelabeled := pattern.New("vee2", 3, 1, 0, 0, 2)
+
+	perPattern := 0
+	ep := &fakeEngine{name: "per-pattern", caps: Capabilities{ArtifactScope: ArtifactPerPattern}, prepares: &perPattern}
+	perCanon := 0
+	ec := &fakeEngine{name: "per-canon", caps: Capabilities{ArtifactScope: ArtifactPerCanonical}, prepares: &perCanon}
+	none := 0
+	en := &fakeEngine{name: "no-artifact", caps: Capabilities{}, prepares: &none}
+
+	c := NewArtifactCache(0)
+	for i := 0; i < 2; i++ { // second round must hit for both scopes
+		for _, p := range []*pattern.Pattern{vee, veeRelabeled} {
+			if _, err := c.Get(nil, ep, part, p); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Get(nil, ec, part, p); err != nil {
+				t.Fatal(err)
+			}
+			if art, err := c.Get(nil, en, part, p); art != nil || err != nil {
+				t.Fatalf("no-artifact engine got %v, %v", art, err)
+			}
+		}
+	}
+	if perPattern != 2 {
+		t.Errorf("per-pattern prepares = %d, want 2 (one per labeling)", perPattern)
+	}
+	if perCanon != 1 {
+		t.Errorf("per-canonical prepares = %d, want 1 (labelings share)", perCanon)
+	}
+	if none != 0 {
+		t.Errorf("artifact-less engine prepared %d times", none)
+	}
+	if c.Len() != 3 {
+		t.Errorf("cache len = %d, want 3", c.Len())
+	}
+	if c.SizeBytes() != 3*64 {
+		t.Errorf("cache bytes = %d, want %d", c.SizeBytes(), 3*64)
+	}
+}
+
+// keyedFake wraps fakeEngine with a constant ArtifactKey, modeling
+// engines whose artifact depends on less than the whole pattern.
+type keyedFake struct {
+	*fakeEngine
+	key string
+}
+
+func (k keyedFake) ArtifactKey(_ *pattern.Pattern) string { return k.key }
+
+func TestArtifactCacheKeyerShares(t *testing.T) {
+	g := gen.Clique(6)
+	part := partition.Hash(g, 2)
+	prepares := 0
+	e := keyedFake{
+		fakeEngine: &fakeEngine{name: "keyed", caps: Capabilities{ArtifactScope: ArtifactPerCanonical}, prepares: &prepares},
+		key:        "shared",
+	}
+	c := NewArtifactCache(0)
+	// Structurally different patterns; the keyer maps both to one key.
+	for _, p := range []*pattern.Pattern{pattern.Triangle(), pattern.New("vee", 3, 0, 1, 1, 2)} {
+		if _, err := c.Get(nil, e, part, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prepares != 1 {
+		t.Errorf("prepares = %d, want 1 (keyer shares across patterns)", prepares)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache len = %d, want 1", c.Len())
+	}
+}
+
+func TestArtifactCacheLRUEviction(t *testing.T) {
+	g := gen.Clique(6)
+	part := partition.Hash(g, 2)
+	patterns := []*pattern.Pattern{
+		pattern.New("a", 3, 0, 1, 1, 2),
+		pattern.New("b", 4, 0, 1, 1, 2, 2, 3),
+		pattern.New("c", 5, 0, 1, 1, 2, 2, 3, 3, 4),
+	}
+	prepares := 0
+	e := &fakeEngine{name: "lru", caps: Capabilities{ArtifactScope: ArtifactPerPattern}, prepares: &prepares}
+	c := NewArtifactCache(2)
+	mustGet := func(p *pattern.Pattern) {
+		t.Helper()
+		if _, err := c.Get(nil, e, part, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(patterns[0])
+	mustGet(patterns[1])
+	mustGet(patterns[0]) // touch a: b becomes least recently used
+	mustGet(patterns[2]) // evicts b, keeps a
+	if prepares != 3 {
+		t.Fatalf("prepares = %d, want 3", prepares)
+	}
+	mustGet(patterns[0]) // must still be cached
+	if prepares != 3 {
+		t.Errorf("hot entry was evicted: prepares = %d, want 3", prepares)
+	}
+	mustGet(patterns[1]) // evicted earlier: re-prepares
+	if prepares != 4 {
+		t.Errorf("prepares = %d, want 4 (b was evicted)", prepares)
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache len = %d, want 2", c.Len())
+	}
+}
+
+// blockingFake parks Prepare until released, for in-flight tests.
+type blockingFake struct {
+	fakeEngine
+	release chan struct{}
+	started chan struct{}
+}
+
+func (b *blockingFake) Prepare(part *partition.Partition, p *pattern.Pattern) (Artifact, error) {
+	b.started <- struct{}{}
+	<-b.release
+	return b.fakeEngine.Prepare(part, p)
+}
+
+func TestArtifactCacheWaiterHonoursContext(t *testing.T) {
+	g := gen.Clique(4)
+	part := partition.Hash(g, 2)
+	p := pattern.Triangle()
+	e := &blockingFake{
+		fakeEngine: fakeEngine{name: "block", caps: Capabilities{ArtifactScope: ArtifactPerPattern}},
+		release:    make(chan struct{}),
+		started:    make(chan struct{}, 1),
+	}
+	c := NewArtifactCache(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get(context.Background(), e, part, p)
+		done <- err
+	}()
+	<-e.started // preparation is in flight
+
+	// A waiter whose context dies must give up promptly...
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(ctx, e, part, p); !errors.Is(err, context.Canceled) {
+		t.Errorf("waiter err = %v, want context.Canceled", err)
+	}
+	// ...and a dead context must not start a fresh preparation either.
+	p2 := pattern.New("other", 3, 0, 1, 1, 2)
+	if _, err := c.Get(ctx, e, part, p2); !errors.Is(err, context.Canceled) {
+		t.Errorf("dead-ctx start err = %v, want context.Canceled", err)
+	}
+
+	close(e.release)
+	if err := <-done; err != nil {
+		t.Fatalf("original preparation failed: %v", err)
+	}
+	// The finished artifact serves later callers normally.
+	if _, err := c.Get(context.Background(), e, part, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArtifactCacheEvictionSkipsInFlight(t *testing.T) {
+	g := gen.Clique(4)
+	part := partition.Hash(g, 2)
+	inflight := pattern.Triangle()
+	e := &blockingFake{
+		fakeEngine: fakeEngine{name: "inflight", caps: Capabilities{ArtifactScope: ArtifactPerPattern}},
+		release:    make(chan struct{}),
+		started:    make(chan struct{}, 1),
+	}
+	c := NewArtifactCache(1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get(context.Background(), e, part, inflight)
+		done <- err
+	}()
+	<-e.started
+
+	// The cache is at capacity with only an in-flight entry; inserting
+	// another key must not evict it (it may briefly exceed max).
+	fast := &fakeEngine{name: "inflight2", caps: Capabilities{ArtifactScope: ArtifactPerPattern}}
+	if _, err := c.Get(context.Background(), fast, part, pattern.New("other", 3, 0, 1, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	close(e.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Re-getting the in-flight key must hit (single prepare overall).
+	prepBefore := 0
+	e.prepares = &prepBefore
+	if _, err := c.Get(context.Background(), e, part, inflight); err != nil {
+		t.Fatal(err)
+	}
+	if prepBefore != 0 {
+		t.Errorf("in-flight entry was evicted: %d extra prepares", prepBefore)
+	}
+}
+
+func TestArtifactCacheSingleFlight(t *testing.T) {
+	g := gen.Clique(4)
+	part := partition.Hash(g, 2)
+	p := pattern.Triangle()
+	prepares := 0
+	e := &fakeEngine{name: "sf", caps: Capabilities{ArtifactScope: ArtifactPerPattern}, prepares: &prepares}
+	c := NewArtifactCache(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Get(nil, e, part, p); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if prepares != 1 {
+		t.Errorf("prepares = %d, want 1 (single-flight)", prepares)
+	}
+}

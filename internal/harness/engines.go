@@ -4,20 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
+	"strings"
 
-	"rads/internal/baselines/bigjoin"
-	"rads/internal/baselines/common"
-	"rads/internal/baselines/crystal"
-	"rads/internal/baselines/psgl"
-	"rads/internal/baselines/seed"
-	"rads/internal/baselines/twintwig"
 	"rads/internal/cluster"
+	"rads/internal/engine"
+	_ "rads/internal/engine/all" // register RADS and the baselines
 	"rads/internal/graph"
 	"rads/internal/partition"
 	"rads/internal/pattern"
-	"rads/internal/plan"
-	"rads/internal/rads"
 )
 
 // EngineNames lists the engines in the paper's chart order. "Pads" is
@@ -25,11 +19,11 @@ import (
 var EngineNames = []string{"SEED", "TwinTwig", "Crystal", "RADS", "PSgL"}
 
 // CliqueEngineNames is the Figure 15 engine subset.
+//
+// RunEngine itself dispatches to anything in the engine registry —
+// engine.Names() is the authoritative list, including BigJoin (which
+// the paper's main charts omit) and engines registered elsewhere.
 var CliqueEngineNames = []string{"SEED", "Crystal", "RADS"}
-
-// AllEngineNames lists every engine RunEngine can dispatch to,
-// including BigJoin (which the paper's main charts omit).
-var AllEngineNames = []string{"RADS", "PSgL", "TwinTwig", "SEED", "Crystal", "BigJoin"}
 
 // Uniform is an engine-agnostic result record, one bar of a figure.
 type Uniform struct {
@@ -46,108 +40,76 @@ type Uniform struct {
 
 // RunSpec describes one engine execution.
 type RunSpec struct {
-	Engine      string
+	Engine string
+	// Dataset labels the Uniform result; harness.Verify keys on
+	// (dataset, query), so comparison runners must set it to keep
+	// counts from different datasets apart.
+	Dataset     string
 	Part        *partition.Partition
 	Query       *pattern.Pattern
-	BudgetBytes int64          // 0 = unlimited
-	Index       *crystal.Index // prebuilt clique index for Crystal
+	BudgetBytes int64 // per-machine; 0 = unlimited
 
-	// The remaining fields exist for long-lived callers (the resident
-	// query service); batch experiment runners leave them zero.
-
-	// Ctx cancels a RADS run between candidates/groups; the baselines
-	// ignore it (their supersteps are not interruptible).
+	// Ctx cancels the run between units of work; every registered
+	// engine with the Cancellation capability honours it (RADS between
+	// candidates/groups, the baselines between supersteps). Nil runs to
+	// completion.
 	Ctx context.Context
-	// Plan is a precomputed RADS execution plan (resident plan
-	// catalog); nil computes one per run.
-	Plan *plan.Plan
-	// Metrics receives communication accounting; nil allocates one per
-	// run. Uniform.CommMB reads this metrics object's totals, so pass
-	// a fresh one per query if you need per-query numbers.
-	Metrics *cluster.Metrics
-	// Budget overrides BudgetBytes with a caller-owned budget.
-	Budget *cluster.MemBudget
-	// OnEmbedding streams every embedding found (RADS only; other
-	// engines fail if it is set). The slice is reused — copy to keep.
+	// Artifacts, if non-nil, supplies prepared per-(partition, pattern)
+	// artifacts (RADS plans, Crystal clique indexes) through a shared
+	// cache, keeping preparation cost out of the timed run. Nil makes
+	// each engine prepare internally, inside the clock — the batch
+	// one-shot behaviour.
+	Artifacts *engine.ArtifactCache
+	// OnEmbedding streams every embedding found. Engines whose
+	// capabilities lack Streaming reject it with engine.ErrUnsupported.
+	// The slice is reused — copy to keep.
 	OnEmbedding func(machine int, f []graph.VertexID)
 }
 
-// RunEngine executes one engine and normalizes its result. An
-// out-of-memory failure is reported as OOM=true rather than an error —
-// the paper plots those as missing bars.
+// RunEngine executes one engine through the registry and normalizes
+// its result. An out-of-memory failure is reported as OOM=true rather
+// than an error — the paper plots those as missing bars.
 func RunEngine(spec RunSpec) Uniform {
-	u := Uniform{Engine: spec.Engine, Query: spec.Query.Name}
-	m := spec.Part.M
-	budget := spec.Budget
-	if budget == nil && spec.BudgetBytes > 0 {
-		budget = cluster.NewMemBudget(m, spec.BudgetBytes)
-	}
-	metrics := spec.Metrics
-	if metrics == nil {
-		metrics = cluster.NewMetrics(m)
-	}
-	ccfg := common.Config{Metrics: metrics, Budget: budget}
-	if spec.OnEmbedding != nil && spec.Engine != "RADS" {
-		u.Err = fmt.Errorf("harness: engine %q cannot stream embeddings", spec.Engine)
+	u := Uniform{Engine: spec.Engine, Dataset: spec.Dataset, Query: spec.Query.Name}
+	e, ok := engine.Lookup(spec.Engine)
+	if !ok {
+		u.Err = fmt.Errorf("harness: unknown engine %q (registered: %s)", spec.Engine, strings.Join(engine.Names(), " "))
 		return u
 	}
-
-	var total int64
-	var secs float64
-	var err error
-	switch spec.Engine {
-	case "RADS":
-		start := time.Now()
-		var res *rads.Result
-		res, err = rads.Run(spec.Part, spec.Query, rads.Config{
-			Context:     spec.Ctx,
-			Plan:        spec.Plan,
-			Metrics:     metrics,
-			Budget:      budget,
-			OnEmbedding: spec.OnEmbedding,
-		})
-		secs = time.Since(start).Seconds()
-		if err == nil {
-			total = res.Total
+	m := spec.Part.M
+	var budget *cluster.MemBudget
+	if spec.BudgetBytes > 0 {
+		budget = cluster.NewMemBudget(m, spec.BudgetBytes)
+	}
+	metrics := cluster.NewMetrics(m)
+	req := engine.Request{
+		Part:        spec.Part,
+		Pattern:     spec.Query,
+		Metrics:     metrics,
+		Budget:      budget,
+		OnEmbedding: spec.OnEmbedding,
+	}
+	if err := engine.ValidateRequest(e, req); err != nil {
+		u.Err = err
+		return u
+	}
+	ctx := spec.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if spec.Artifacts != nil {
+		art, err := spec.Artifacts.Get(ctx, e, spec.Part, spec.Query)
+		if err != nil {
+			u.Err = fmt.Errorf("harness: preparing %s for %s: %w", spec.Engine, spec.Query.Name, err)
+			return u
 		}
-	case "PSgL":
-		var res *common.Result
-		res, err = psgl.Run(spec.Part, spec.Query, ccfg)
-		if err == nil {
-			total, secs = res.Total, res.ElapsedSeconds
-		}
-	case "TwinTwig":
-		var res *common.Result
-		res, err = twintwig.Run(spec.Part, spec.Query, ccfg)
-		if err == nil {
-			total, secs = res.Total, res.ElapsedSeconds
-		}
-	case "SEED":
-		var res *common.Result
-		res, err = seed.Run(spec.Part, spec.Query, ccfg)
-		if err == nil {
-			total, secs = res.Total, res.ElapsedSeconds
-		}
-	case "BigJoin":
-		var res *common.Result
-		res, err = bigjoin.Run(spec.Part, spec.Query, ccfg)
-		if err == nil {
-			total, secs = res.Total, res.ElapsedSeconds
-		}
-	case "Crystal":
-		start := time.Now()
-		var res *common.Result
-		res, err = crystal.Run(spec.Part, spec.Query, crystal.Config{Config: ccfg, Index: spec.Index})
-		secs = time.Since(start).Seconds()
-		if err == nil {
-			total = res.Total
-		}
-	default:
-		err = fmt.Errorf("harness: unknown engine %q", spec.Engine)
+		req.Artifact = art
 	}
 
-	u.Total = total
-	u.Seconds = secs
+	res, err := e.Run(ctx, req)
+	u.Total = res.Total
+	u.Seconds = res.Seconds
+	u.OOM = res.OOM
 	u.CommMB = float64(metrics.TotalBytes()) / (1 << 20)
 	if budget != nil {
 		u.PeakMB = float64(budget.MaxPeak()) / (1 << 20)

@@ -1,0 +1,89 @@
+package rads
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rads/internal/cluster"
+	eng "rads/internal/engine"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+	"rads/internal/plan"
+)
+
+// PlanArtifact is RADS's prepared artifact: a Section 4 execution plan
+// for one exact labeled pattern. Plans are *not* isomorphism-invariant
+// — the matching order names concrete query-vertex IDs — so the
+// artifact scope is per-pattern, not per-canonical-form.
+type PlanArtifact struct {
+	Plan *plan.Plan
+}
+
+// SizeBytes is a structural estimate of the plan's resident footprint.
+func (a PlanArtifact) SizeBytes() int64 {
+	pl := a.Plan
+	if pl == nil {
+		return 0
+	}
+	n := int64(len(pl.Order)+len(pl.Pos)+len(pl.PrefixLen)) * 8
+	for i := range pl.Units {
+		n += int64(1+len(pl.Units[i].LF)) * 8
+		n += int64(len(pl.Star[i])+len(pl.Sib[i])+len(pl.Cross[i])) * 16
+	}
+	return n
+}
+
+// apiEngine adapts Run onto the uniform engine API. RADS is the one
+// native implementation: streaming, cancellable, with prepared plans.
+type apiEngine struct{}
+
+func (apiEngine) Name() string { return "RADS" }
+
+func (apiEngine) Capabilities() eng.Capabilities {
+	return eng.Capabilities{
+		Streaming:     true,
+		Cancellation:  true,
+		ArtifactScope: eng.ArtifactPerPattern,
+	}
+}
+
+func (apiEngine) Prepare(_ *partition.Partition, p *pattern.Pattern) (eng.Artifact, error) {
+	pl, err := plan.Compute(p)
+	if err != nil {
+		return nil, fmt.Errorf("rads: planning %s: %w", p.Name, err)
+	}
+	return PlanArtifact{Plan: pl}, nil
+}
+
+func (e apiEngine) Run(ctx context.Context, req eng.Request) (eng.Result, error) {
+	if err := eng.ValidateRequest(e, req); err != nil {
+		return eng.Result{}, err
+	}
+	cfg := Config{
+		Context:     ctx,
+		Metrics:     req.Metrics,
+		Budget:      req.Budget,
+		OnEmbedding: req.OnEmbedding,
+	}
+	if req.Artifact != nil {
+		pa, ok := req.Artifact.(PlanArtifact)
+		if !ok {
+			return eng.Result{}, fmt.Errorf("%w: engine RADS cannot use artifact %T", eng.ErrUnsupported, req.Artifact)
+		}
+		cfg.Plan = pa.Plan
+	}
+	start := time.Now()
+	res, err := Run(req.Part, req.Pattern, cfg)
+	secs := time.Since(start).Seconds()
+	if err != nil {
+		if errors.Is(err, cluster.ErrOutOfMemory) {
+			return eng.Result{Seconds: secs, OOM: true}, nil
+		}
+		return eng.Result{}, err
+	}
+	return eng.Result{Total: res.Total, Seconds: secs}, nil
+}
+
+func init() { eng.Register(apiEngine{}) }

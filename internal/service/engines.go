@@ -2,13 +2,16 @@ package service
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"sort"
 
 	"rads/internal/cluster"
+	"rads/internal/engine"
+	_ "rads/internal/engine/all" // register RADS and the baselines
 	"rads/internal/graph"
-	"rads/internal/harness"
 	"rads/internal/partition"
 	"rads/internal/pattern"
-	"rads/internal/plan"
 )
 
 // EngineRequest is everything the service hands an engine for one
@@ -16,9 +19,6 @@ import (
 type EngineRequest struct {
 	Part    *partition.Partition
 	Pattern *pattern.Pattern
-	// Plan is the memoized RADS plan for Pattern (nil for engines that
-	// plan on their own).
-	Plan *plan.Plan
 	// Budget is the per-query memory budget (nil = unlimited).
 	Budget *cluster.MemBudget
 	// Metrics is a fresh per-query metrics object; the service folds
@@ -38,33 +38,98 @@ type EngineResult struct {
 
 // EngineFunc runs one query. It must honour ctx where it can and be
 // safe for concurrent invocations (the admission scheduler runs up to
-// MaxConcurrent of them at once against the shared partition).
+// MaxConcurrent of them at once against the shared partition). It is
+// the extension point for callers that want an engine outside the
+// process-wide registry (tests, experiments); the built-ins arrive
+// through engine.Register instead.
 type EngineFunc func(ctx context.Context, req EngineRequest) (EngineResult, error)
 
-// registerDefaultEngines wires RADS and every baseline the harness
-// knows how to dispatch.
+// engineEntry pairs the callable with its declared capabilities; caps
+// is nil for external EngineFuncs, whose capabilities are unknown (the
+// service then cannot pre-reject unsupported options — the engine must
+// fail them itself).
+type engineEntry struct {
+	fn   EngineFunc
+	caps *engine.Capabilities
+}
+
+// registerDefaultEngines wires every engine in the process-wide
+// registry (RADS and the five baselines via rads/internal/engine/all).
 func registerDefaultEngines(s *Service) {
-	for _, name := range harness.AllEngineNames {
-		s.engines[name] = harnessEngine(name)
+	for _, name := range engine.Names() {
+		e, _ := engine.Lookup(name)
+		caps := e.Capabilities()
+		s.engines[name] = engineEntry{fn: s.registryEngine(e), caps: &caps}
 	}
 }
 
-// harnessEngine adapts harness.RunEngine into an EngineFunc.
-func harnessEngine(name string) EngineFunc {
+// registryEngine adapts an engine.Engine into an EngineFunc, routing
+// prepared artifacts (RADS plans, Crystal clique indexes) through the
+// service's per-engine artifact cache.
+func (s *Service) registryEngine(e engine.Engine) EngineFunc {
 	return func(ctx context.Context, req EngineRequest) (EngineResult, error) {
-		u := harness.RunEngine(harness.RunSpec{
-			Engine:      name,
+		ereq := engine.Request{
 			Part:        req.Part,
-			Query:       req.Pattern,
-			Ctx:         ctx,
-			Plan:        req.Plan,
+			Pattern:     req.Pattern,
 			Metrics:     req.Metrics,
 			Budget:      req.Budget,
 			OnEmbedding: req.OnEmbedding,
-		})
-		if u.Err != nil {
-			return EngineResult{}, u.Err
 		}
-		return EngineResult{Total: u.Total, Seconds: u.Seconds, OOM: u.OOM}, nil
+		if err := engine.ValidateRequest(e, ereq); err != nil {
+			return EngineResult{}, err
+		}
+		// ctx-aware: a client that is already gone neither starts a
+		// preparation nor waits on someone else's.
+		art, err := s.artifacts.Get(ctx, e, req.Part, req.Pattern)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return EngineResult{}, err
+			}
+			return EngineResult{}, fmt.Errorf("preparing %s for %s: %w", e.Name(), req.Pattern.Name, err)
+		}
+		ereq.Artifact = art
+		res, err := e.Run(ctx, ereq)
+		if err != nil {
+			return EngineResult{}, err
+		}
+		return EngineResult{Total: res.Total, Seconds: res.Seconds, OOM: res.OOM}, nil
 	}
+}
+
+// EngineInfo describes one engine the service can route to — the
+// /engines payload of radserve.
+type EngineInfo struct {
+	Name    string `json:"name"`
+	Default bool   `json:"default,omitempty"`
+	// Capability flags, from the engine's declared Capabilities.
+	Streaming         bool   `json:"streaming"`
+	Cancellation      bool   `json:"cancellation"`
+	PreparedArtifacts bool   `json:"prepared_artifacts"`
+	ArtifactScope     string `json:"artifact_scope,omitempty"`
+	// External marks engines added via RegisterEngine, whose
+	// capabilities the service cannot introspect.
+	External bool `json:"external,omitempty"`
+}
+
+// Engines lists every engine this service routes to, sorted by name.
+func (s *Service) Engines() []EngineInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]EngineInfo, 0, len(s.engines))
+	for name, ent := range s.engines {
+		info := EngineInfo{Name: name, Default: name == s.cfg.DefaultEngine}
+		if ent.caps != nil {
+			info.Streaming = ent.caps.Streaming
+			info.Cancellation = ent.caps.Cancellation
+			info.PreparedArtifacts = ent.caps.PreparedArtifacts()
+			if info.PreparedArtifacts {
+				info.ArtifactScope = ent.caps.ArtifactScope.String()
+			}
+		} else {
+			info.External = true
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }

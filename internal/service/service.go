@@ -14,15 +14,17 @@
 //
 //   - the partitioned data graph, with per-machine border distances
 //     precomputed (they drive the SM-E split of Proposition 1);
-//   - a plan catalog: RADS execution plans memoized per exact pattern;
+//   - an artifact cache: prepared per-engine state (RADS execution
+//     plans, Crystal clique indexes) memoized per pattern through the
+//     engine API's Prepare;
 //   - a result cache keyed by the pattern's canonical form, so any
 //     relabeling of an already-answered motif is O(1);
 //   - an admission scheduler: at most MaxConcurrent queries run at
 //     once, excess load queues (FIFO through a semaphore) up to
 //     MaxQueued, and beyond that Submit fails fast with ErrOverloaded
 //     instead of falling over;
-//   - an engine registry routing to RADS and the baseline engines,
-//     extensible via RegisterEngine.
+//   - engine routing over the process-wide engine registry (RADS and
+//     the baseline engines), extensible via RegisterEngine.
 //
 // Submit returns a Handle immediately; results stream through it.
 package service
@@ -32,16 +34,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rads/internal/cluster"
+	"rads/internal/engine"
 	"rads/internal/graph"
 	"rads/internal/partition"
-	"rads/internal/pattern"
-	"rads/internal/plan"
 )
 
 // Errors returned by Submit.
@@ -120,9 +120,13 @@ type Service struct {
 
 	mu      sync.Mutex
 	closed  bool
-	engines map[string]EngineFunc
-	plans   map[string]*plan.Plan // exact pattern text -> RADS plan
+	engines map[string]engineEntry
 	cache   *resultCache
+
+	// artifacts memoizes prepared per-engine state for the resident
+	// partition (RADS plans per labeled pattern, Crystal clique indexes
+	// per canonical form).
+	artifacts *engine.ArtifactCache
 
 	wg sync.WaitGroup // all query goroutines
 
@@ -171,9 +175,9 @@ func OpenPartitioned(part *partition.Partition, cfg Config) (*Service, error) {
 		balance:    part.Balance(),
 		sem:        make(chan struct{}, cfg.MaxConcurrent),
 		closing:    make(chan struct{}),
-		engines:    make(map[string]EngineFunc),
-		plans:      make(map[string]*plan.Plan),
+		engines:    make(map[string]engineEntry),
 		cache:      newResultCache(cfg.CacheEntries),
+		artifacts:  engine.NewArtifactCache(0),
 		commByKind: make(map[string]int64),
 	}
 	registerDefaultEngines(s)
@@ -189,7 +193,9 @@ func OpenPartitioned(part *partition.Partition, cfg Config) (*Service, error) {
 func (s *Service) Partition() *partition.Partition { return s.part }
 
 // RegisterEngine adds (or replaces) an engine under name. Queries name
-// engines by these keys.
+// engines by these keys. Engines registered here are external: the
+// service cannot see their capabilities, so unsupported options are
+// the function's own responsibility to reject.
 func (s *Service) RegisterEngine(name string, fn EngineFunc) error {
 	if name == "" || fn == nil {
 		return errors.New("service: engine needs a name and a function")
@@ -199,7 +205,7 @@ func (s *Service) RegisterEngine(name string, fn EngineFunc) error {
 	if s.closed {
 		return ErrClosed
 	}
-	s.engines[name] = fn
+	s.engines[name] = engineEntry{fn: fn}
 	return nil
 }
 
@@ -238,24 +244,32 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Handle, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	engine, ok := s.engines[engineName]
+	ent, ok := s.engines[engineName]
 	if !ok {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("service: unknown engine %q", engineName)
+	}
+	// Reject unsupported options up front when the engine's declared
+	// capabilities are known, instead of failing mid-run.
+	if q.Stream && ent.caps != nil && !ent.caps.Streaming {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: engine %s cannot stream embeddings: %w", engineName, engine.ErrUnsupported)
 	}
 	s.submitted.Add(1)
 
 	h := newHandle(q, engineName)
 
 	// Fast path: answered motif under any labeling. Streaming queries
-	// skip the cache — embeddings are not cached, only counts.
+	// skip the cache — embeddings are not cached, only counts. The
+	// cached result keeps the engine that actually produced it
+	// (Seconds/CommMB are that run's numbers); CacheHit tells the
+	// caller the requested engine never ran.
 	if key != "" {
 		if res, ok := s.cache.get(key); ok {
 			s.cacheHits.Add(1)
 			s.completed.Add(1)
 			s.mu.Unlock()
 			res.Pattern = q.Pattern.Name
-			res.Engine = engineName
 			res.CacheHit = true
 			res.Queued = 0 // this request never queued; don't echo the original run's wait
 			h.complete(res)
@@ -283,12 +297,12 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Handle, error) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	go s.serve(ctx, h, engine, key, admitted)
+	go s.serve(ctx, h, ent.fn, key, admitted)
 	return h, nil
 }
 
 // serve runs one admitted-or-queued query to completion.
-func (s *Service) serve(ctx context.Context, h *Handle, engine EngineFunc, key string, admitted bool) {
+func (s *Service) serve(ctx context.Context, h *Handle, fn EngineFunc, key string, admitted bool) {
 	defer s.wg.Done()
 	enqueued := time.Now()
 
@@ -329,13 +343,15 @@ func (s *Service) serve(ctx context.Context, h *Handle, engine EngineFunc, key s
 	queuedFor := time.Since(enqueued)
 
 	// Re-check the cache: an identical motif may have completed while
-	// this query waited in the queue.
+	// this query waited in the queue. This lookup supersedes the miss
+	// recorded at Submit — compensate it so hits+misses tracks queries,
+	// not lookups.
 	if key != "" {
 		if res, ok := s.cache.get(key); ok {
 			s.cacheHits.Add(1)
+			s.cacheMisses.Add(-1)
 			s.completed.Add(1)
 			res.Pattern = h.query.Pattern.Name
-			res.Engine = h.engine
 			res.CacheHit = true
 			res.Queued = queuedFor
 			h.complete(res)
@@ -351,15 +367,6 @@ func (s *Service) serve(ctx context.Context, h *Handle, engine EngineFunc, key s
 	if s.cfg.QueryBudgetBytes > 0 {
 		req.Budget = cluster.NewMemBudget(s.part.M, s.cfg.QueryBudgetBytes)
 	}
-	if h.engine == "RADS" {
-		pl, err := s.planFor(h.query.Pattern)
-		if err != nil {
-			s.failed.Add(1)
-			h.fail(err)
-			return
-		}
-		req.Plan = pl
-	}
 	if h.query.Stream {
 		req.OnEmbedding = func(machine int, f []graph.VertexID) {
 			cp := append([]graph.VertexID(nil), f...)
@@ -371,7 +378,7 @@ func (s *Service) serve(ctx context.Context, h *Handle, engine EngineFunc, key s
 	}
 
 	s.engineRuns.Add(1)
-	res, err := engine(ctx, req)
+	res, err := fn(ctx, req)
 	s.accountComm(req.Metrics)
 	if err != nil {
 		// A context cancellation is the client's doing (disconnect or
@@ -405,52 +412,6 @@ func (s *Service) serve(ctx context.Context, h *Handle, engine EngineFunc, key s
 	}
 	s.completed.Add(1)
 	h.complete(out)
-}
-
-// maxPlansCached bounds the plan catalog. Plans are pure memoization,
-// so when the catalog fills up it is simply reset — correctness never
-// depends on a hit.
-const maxPlansCached = 512
-
-// planKey is the structural identity of a labeled pattern: vertex
-// count plus sorted edge list. Deliberately *not* pattern.Format,
-// which embeds the client-chosen Name — keying on that would let HTTP
-// clients mint unbounded distinct keys for one graph.
-func planKey(p *pattern.Pattern) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d:", p.N())
-	for i, e := range p.Edges() {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%d-%d", e[0], e[1])
-	}
-	return b.String()
-}
-
-// planFor memoizes RADS execution plans by labeled structure. Unlike
-// counts, plans are *not* isomorphism-invariant — the matching order
-// names concrete vertex IDs — so the catalog keys on planKey, not
-// CanonicalKey.
-func (s *Service) planFor(p *pattern.Pattern) (*plan.Plan, error) {
-	key := planKey(p)
-	s.mu.Lock()
-	if pl, ok := s.plans[key]; ok {
-		s.mu.Unlock()
-		return pl, nil
-	}
-	s.mu.Unlock()
-	pl, err := plan.Compute(p)
-	if err != nil {
-		return nil, fmt.Errorf("service: planning %s: %w", p.Name, err)
-	}
-	s.mu.Lock()
-	if len(s.plans) >= maxPlansCached {
-		s.plans = make(map[string]*plan.Plan)
-	}
-	s.plans[key] = pl
-	s.mu.Unlock()
-	return pl, nil
 }
 
 func (s *Service) accountComm(m *cluster.Metrics) {
@@ -504,7 +465,11 @@ type Stats struct {
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
-	PlansCached  int   `json:"plans_cached"`
+
+	// Prepared-artifact cache (the generalization of the old RADS-only
+	// plan catalog): entries across all engines plus accounted bytes.
+	ArtifactsCached int   `json:"artifacts_cached"`
+	ArtifactBytes   int64 `json:"artifact_bytes"`
 
 	CommBytes    int64            `json:"comm_bytes"`
 	CommMessages int64            `json:"comm_messages"`
@@ -541,8 +506,9 @@ func (s *Service) Stats() Stats {
 		st.CommByKind[k] += v
 	}
 	s.kindMu.Unlock()
+	st.ArtifactsCached = s.artifacts.Len()
+	st.ArtifactBytes = s.artifacts.SizeBytes()
 	s.mu.Lock()
-	st.PlansCached = len(s.plans)
 	if s.cache != nil {
 		st.CacheEntries = s.cache.len()
 	}
