@@ -6,10 +6,51 @@ import (
 	"rads/internal/etrie"
 	"rads/internal/gen"
 	"rads/internal/graph"
+	"rads/internal/harness"
 	"rads/internal/localenum"
 	"rads/internal/pattern"
 	"rads/internal/plan"
 )
+
+// --- intersection-kernel micro-benchmarks ---
+
+var microFx *harness.MicroFixture
+
+func microFixture() *harness.MicroFixture {
+	if microFx == nil {
+		microFx = harness.NewMicroFixture()
+	}
+	return microFx
+}
+
+// BenchmarkIntersect runs the shared kernel suite
+// (harness.MicroBenchmarks) as sub-benchmarks: merge vs galloping on
+// comparable and skewed lists, the k-way fold, and the seed-vs-kernel
+// hub-heavy candidate-generation pair (the PR 3 before/after). The
+// bodies live in internal/harness/microbench.go so `go test -bench
+// BenchmarkIntersect` and radsbench -json (BENCH_PR3.json) measure
+// the same code; the CI smoke step runs this with -benchtime=1x so
+// the suite cannot silently rot.
+func BenchmarkIntersect(b *testing.B) {
+	for _, mb := range harness.MicroBenchmarks(microFixture()) {
+		b.Run(mb.Name, mb.Fn)
+	}
+}
+
+// TestIntersectCandidatePathsAgree pins that the seed-path replica and
+// the kernel path produce the same candidate set size — the benchmark
+// comparison is apples to apples.
+func TestIntersectCandidatePathsAgree(t *testing.T) {
+	fx := microFixture()
+	seed := fx.SeedCandidates(map[graph.VertexID]bool{})
+	kernel := len(fx.KernelCandidates(nil))
+	if seed != kernel {
+		t.Fatalf("seed path found %d candidates, kernel path %d", seed, kernel)
+	}
+	if seed == 0 {
+		t.Fatal("degenerate fixture: no candidates")
+	}
+}
 
 // benchTrie measures raw embedding-trie insert/remove throughput on
 // synthetic 4-level paths with heavy prefix sharing.

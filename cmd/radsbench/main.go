@@ -10,6 +10,13 @@
 //
 // Experiments: table1, table2, fig8, fig9, fig10, fig11, fig12, fig13,
 // table3, table4, fig15, robust, ablations, all.
+//
+// With -json FILE, radsbench instead writes a machine-readable
+// performance snapshot (kernel micro-benchmarks plus one end-to-end
+// run per engine: ns/op, allocs/op, embeddings/sec, tree-nodes/sec)
+// to FILE — the repository's perf trajectory, e.g. BENCH_PR3.json:
+//
+//	radsbench -json BENCH_PR3.json -machines 4
 package main
 
 import (
@@ -27,12 +34,41 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
 		dataset  = flag.String("dataset", "", "dataset override for fig12/robust/ablations")
 		budgetMB = flag.Int64("budget-mb", 48, "per-machine memory budget in MiB for the comparison figures (0 = unlimited)")
+		jsonOut  = flag.String("json", "", "write a machine-readable benchmark report to this file instead of running -exp")
 	)
 	flag.Parse()
+	if *jsonOut != "" {
+		if err := runJSON(*jsonOut, *machines, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "radsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *machines, *scale, *dataset, *budgetMB<<20); err != nil {
 		fmt.Fprintln(os.Stderr, "radsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runJSON writes the machine-readable benchmark report.
+func runJSON(path string, machines int, scale float64) error {
+	rep, err := harness.BenchJSON(machines, scale)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d micro benchmarks, %d engine runs)\n", path, len(rep.Micro), len(rep.Engines))
+	return nil
 }
 
 func run(exp string, machines int, scale float64, dataset string, budget int64) error {

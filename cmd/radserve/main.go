@@ -318,6 +318,9 @@ func resultPayload(res service.Result) map[string]any {
 	if res.PeakMB > 0 {
 		out["peak_mb"] = res.PeakMB
 	}
+	if res.TreeNodes > 0 {
+		out["tree_nodes"] = res.TreeNodes
+	}
 	return out
 }
 

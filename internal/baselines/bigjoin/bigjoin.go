@@ -151,7 +151,11 @@ func Run(part *partition.Partition, p *pattern.Pattern, cfg common.Config) (*com
 			return nil, err
 		}
 		// Each remaining matched neighbour filters by intersection: the
-		// bindings travel to its owner, which checks adjacency.
+		// bindings travel to its owner, which probes its own adjacency
+		// list through the shared sorted-search kernel (the filter
+		// machine owns row[fp], so membership is tested against that
+		// list specifically — the distributed semantics, not HasEdge's
+		// shorter-list shortcut).
 		for _, fp := range filters[k] {
 			if err := route(k+1, fp); err != nil {
 				return nil, err
@@ -159,7 +163,7 @@ func Run(part *partition.Partition, p *pattern.Pattern, cfg common.Config) (*com
 			err := rt.Superstep(func(id int) error {
 				kept := cur[id][:0]
 				for _, row := range cur[id] {
-					if g.HasEdge(row[fp], row[k]) {
+					if graph.ContainsSorted(g.Adj(row[fp]), row[k]) {
 						kept = append(kept, row)
 					}
 				}

@@ -260,6 +260,7 @@ func Run(part *partition.Partition, p *pattern.Pattern, cfg Config) (*common.Res
 	interRows := make([]int64, part.M)
 	err = rt.Superstep(func(id int) error {
 		f := make([]graph.VertexID, p.N())
+		lists := make([][]graph.VertexID, 0, p.N())
 		var comp []compressed
 		var compBytes int64
 		for _, ce := range coreEmb[id] {
@@ -282,7 +283,7 @@ func Run(part *partition.Partition, p *pattern.Pattern, cfg Config) (*common.Res
 			}
 			c := compressed{core: append([]graph.VertexID(nil), ce...)}
 			for _, b := range buds {
-				cands := budCandidates(g, p, f, b, used)
+				cands := budCandidates(g, p, f, b, used, lists)
 				if len(cands) == 0 {
 					c.buds = nil
 					ok = false
@@ -382,26 +383,22 @@ func IndexSizeFor(p *pattern.Pattern) int {
 }
 
 // budCandidates intersects the adjacency lists of the bud's (all-core)
-// neighbours, excluding used vertices and low-degree ones.
-func budCandidates(g *graph.Graph, p *pattern.Pattern, f []graph.VertexID, bud pattern.VertexID, used map[graph.VertexID]bool) []graph.VertexID {
-	var cands []graph.VertexID
-	first := true
+// neighbours through the shared k-way kernel (which orders the lists
+// by length and gallops on skew — the decisive case when a bud hangs
+// off a hub), then drops used and low-degree vertices.
+func budCandidates(g *graph.Graph, p *pattern.Pattern, f []graph.VertexID, bud pattern.VertexID, used map[graph.VertexID]bool, lists [][]graph.VertexID) []graph.VertexID {
+	lists = lists[:0]
 	for _, w := range p.Adj(bud) {
-		adj := g.Adj(f[w])
-		if first {
-			cands = append(cands[:0], adj...)
-			first = false
-		} else {
-			cands = graph.IntersectSorted(cands, cands, adj)
-		}
+		lists = append(lists, g.Adj(f[w]))
 	}
+	cands := graph.IntersectMany(nil, lists...)
 	kept := cands[:0]
 	for _, v := range cands {
 		if !used[v] && g.Degree(v) >= p.Degree(bud) {
 			kept = append(kept, v)
 		}
 	}
-	return append([]graph.VertexID(nil), kept...)
+	return kept
 }
 
 // expandBuds counts injective, constraint-satisfying assignments of

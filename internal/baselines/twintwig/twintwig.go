@@ -130,9 +130,13 @@ func RunJoin(part *partition.Partition, p *pattern.Pattern, units []JoinUnit, cf
 
 	for round, unit := range units {
 		unitVerts := unit.Verts
-		// New layout = union, sorted.
+		// New layout = union, sorted; join key = intersection, through
+		// the shared sorted-set kernel (unit layouts are anchor-first,
+		// so sort a copy before intersecting).
+		sortedUnit := append([]pattern.VertexID(nil), unitVerts...)
+		sort.Slice(sortedUnit, func(i, j int) bool { return sortedUnit[i] < sortedUnit[j] })
 		newVerts := unionSorted(prevVerts, unitVerts)
-		keyVerts := intersectVerts(prevVerts, unitVerts)
+		keyVerts := graph.IntersectSorted(nil, prevVerts, sortedUnit)
 
 		// Positions for key extraction and row building.
 		prevPos := positions(prevVerts)
@@ -373,21 +377,6 @@ func unionSorted(a, b []pattern.VertexID) []pattern.VertexID {
 	for _, v := range b {
 		if !seen[v] {
 			seen[v] = true
-			out = append(out, v)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func intersectVerts(a, b []pattern.VertexID) []pattern.VertexID {
-	inA := make(map[pattern.VertexID]bool)
-	for _, v := range a {
-		inA[v] = true
-	}
-	var out []pattern.VertexID
-	for _, v := range b {
-		if inA[v] {
 			out = append(out, v)
 		}
 	}

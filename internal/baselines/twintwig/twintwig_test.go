@@ -5,6 +5,7 @@ import (
 
 	"rads/internal/baselines/common"
 	"rads/internal/gen"
+	"rads/internal/graph"
 	"rads/internal/partition"
 	"rads/internal/pattern"
 )
@@ -123,8 +124,11 @@ func TestUnionSorted(t *testing.T) {
 	}
 }
 
-func TestIntersectVerts(t *testing.T) {
-	got := intersectVerts(
+func TestJoinKeyViaSharedKernel(t *testing.T) {
+	// The join key is computed with the shared graph.IntersectSorted
+	// kernel over sorted pattern-vertex lists (twintwig's own map-based
+	// intersectVerts was deleted in its favour).
+	got := graph.IntersectSorted(nil,
 		[]pattern.VertexID{0, 2, 4, 6},
 		[]pattern.VertexID{2, 3, 6},
 	)

@@ -106,6 +106,62 @@ func TestConformanceCounts(t *testing.T) {
 	}
 }
 
+// TestConformanceWorkerParallelism checks intra-machine parallelism
+// both ways: every registered engine must produce oracle-identical
+// counts at Workers > 1 (engines without a worker pool ignore the hint
+// — trivially conformant), and the counts must be stable across
+// repetitions (the CI suite runs this under -race, which is what
+// actually exercises the determinism of RADS's worker pool: sharded
+// counters, the shared group queue, and the locked adjacency cache).
+func TestConformanceWorkerParallelism(t *testing.T) {
+	part := conformancePart(t)
+	for _, q := range conformanceQueries() {
+		want := localenum.Count(part.G, q, localenum.Options{})
+		for _, name := range engine.Names() {
+			e, _ := engine.Lookup(name)
+			for rep := 0; rep < 2; rep++ {
+				res, err := e.Run(context.Background(), engine.Request{
+					Part: part, Pattern: q, Workers: 4,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s workers=4 rep=%d: %v", name, q.Name, rep, err)
+				}
+				if res.Total != want {
+					t.Errorf("%s/%s workers=4 rep=%d: count %d, sequential oracle says %d",
+						name, q.Name, rep, res.Total, want)
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceWorkerStreaming checks that a streaming run with a
+// worker pool delivers exactly the counted embeddings — per-machine
+// delivery is serialized, so nothing may be lost or duplicated.
+func TestConformanceWorkerStreaming(t *testing.T) {
+	part := conformancePart(t)
+	q := pattern.Triangle()
+	want := localenum.Count(part.G, q, localenum.Options{})
+	for _, name := range engine.Names() {
+		e, _ := engine.Lookup(name)
+		if !e.Capabilities().Streaming {
+			continue
+		}
+		var streamed atomic.Int64
+		res, err := e.Run(context.Background(), engine.Request{
+			Part: part, Pattern: q, Workers: 4,
+			OnEmbedding: func(machine int, f []graph.VertexID) { streamed.Add(1) },
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if streamed.Load() != res.Total || res.Total != want {
+			t.Errorf("%s workers=4: streamed %d, counted %d, oracle %d",
+				name, streamed.Load(), res.Total, want)
+		}
+	}
+}
+
 // TestConformanceCancellation checks that every engine declaring the
 // Cancellation capability returns context.Canceled promptly when its
 // context is already dead.

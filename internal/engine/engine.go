@@ -112,6 +112,12 @@ type Request struct {
 	// for engines whose Capabilities report Streaming; others reject
 	// the request with ErrUnsupported.
 	OnEmbedding func(machine int, f []graph.VertexID)
+	// Workers hints the intra-machine enumeration parallelism: engines
+	// with a per-machine worker pool (RADS) fan their work across this
+	// many workers per simulated machine. 0 lets the engine derive a
+	// default; engines without intra-machine parallelism ignore it.
+	// Results must be identical at any setting.
+	Workers int
 }
 
 // Result is an engine's normalized answer.
@@ -123,6 +129,11 @@ type Result struct {
 	// OOM: the run died of the memory budget. The paper plots these as
 	// missing bars; they are an outcome, not an error.
 	OOM bool
+	// TreeNodes counts successful partial matches (search-tree nodes)
+	// when the engine tracks them, 0 otherwise. Divided by Seconds it
+	// is the engine-agnostic throughput metric of the bench harness
+	// (tree-nodes/sec).
+	TreeNodes int64
 }
 
 // Engine is one subgraph-enumeration strategy over a partitioned data

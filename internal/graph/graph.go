@@ -65,8 +65,7 @@ func (g *Graph) HasEdge(u, v VertexID) bool {
 	if len(g.adj[v]) < len(a) {
 		a, v = g.adj[v], u
 	}
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
-	return i < len(a) && a[i] == v
+	return ContainsSorted(a, v)
 }
 
 // AvgDegree returns the average vertex degree (2m/n).
@@ -159,31 +158,4 @@ func FromEdges(n int, edges []Edge) *Graph {
 		b.AddEdge(e.U, e.V)
 	}
 	return b.Build()
-}
-
-// IntersectSorted writes the intersection of two ascending vertex slices
-// into dst (which is truncated first) and returns it. It is the shared
-// kernel for candidate refinement in all enumeration engines.
-func IntersectSorted(dst, a, b []VertexID) []VertexID {
-	dst = dst[:0]
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			dst = append(dst, a[i])
-			i++
-			j++
-		}
-	}
-	return dst
-}
-
-// ContainsSorted reports whether ascending slice a contains v.
-func ContainsSorted(a []VertexID, v VertexID) bool {
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
-	return i < len(a) && a[i] == v
 }

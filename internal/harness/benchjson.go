@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"rads/internal/engine"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+)
+
+// EngineBenchResult is one engine × query measurement of the JSON
+// bench: wall time, allocation pressure, and throughput.
+type EngineBenchResult struct {
+	Engine           string  `json:"engine"`
+	Dataset          string  `json:"dataset"`
+	Pattern          string  `json:"pattern"`
+	NsOp             float64 `json:"ns_op"`     // wall ns for one full run
+	AllocsOp         int64   `json:"allocs_op"` // heap allocations during the run
+	BytesOp          int64   `json:"bytes_op"`  // heap bytes during the run
+	Embeddings       int64   `json:"embeddings"`
+	EmbeddingsPerSec float64 `json:"embeddings_per_sec"`
+	TreeNodesPerSec  float64 `json:"tree_nodes_per_sec,omitempty"`
+}
+
+// BenchReport is the machine-readable payload radsbench -json writes —
+// the repository's performance trajectory, one file per PR. The micro
+// section carries the before/after kernel evidence (the seed candidate
+// path is kept alive as a benchmark baseline); the engines section
+// tracks end-to-end throughput per engine.
+type BenchReport struct {
+	Note       string              `json:"note"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Machines   int                 `json:"machines"`
+	Scale      float64             `json:"scale"`
+	Micro      []MicroResult       `json:"micro"`
+	Engines    []EngineBenchResult `json:"engines"`
+}
+
+// benchQueries is the query subset the JSON bench runs: one cycle and
+// one denser motif, both cheap enough for every baseline.
+func benchQueries() []*pattern.Pattern {
+	return []*pattern.Pattern{pattern.ByName("q1"), pattern.ByName("q4")}
+}
+
+// BenchJSON runs the micro-kernel suite and one measured run per
+// (engine, query) on the DBLP analog, and returns the report.
+// Preparation (plans, clique indexes) goes through a shared artifact
+// cache outside the clock, as a resident deployment would.
+func BenchJSON(machines int, scale float64) (*BenchReport, error) {
+	rep := &BenchReport{
+		Note: "radsbench -json: kernel micro-benchmarks (candidates_seed_path is the pre-kernel " +
+			"baseline kept alive for before/after comparison) and per-engine end-to-end runs",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Machines:   machines,
+		Scale:      scale,
+		Micro:      RunMicroBenchmarks(),
+	}
+	d, err := DatasetByName("DBLP")
+	if err != nil {
+		return nil, err
+	}
+	if scale == 0 {
+		scale = d.DefScale
+		rep.Scale = scale
+	}
+	g := d.Build(scale)
+	part := partition.KWay(g, machines, partitionSeed)
+	arts := engine.NewArtifactCache(0)
+	for _, q := range benchQueries() {
+		for _, name := range engine.Names() {
+			spec := RunSpec{
+				Engine: name, Dataset: d.Name, Part: part, Query: q,
+				Artifacts: arts,
+			}
+			// Warm run: prepare artifacts, fault in every lazy structure.
+			if u := RunEngine(spec); u.Err != nil {
+				return nil, fmt.Errorf("bench warm-up %s/%s: %w", name, q.Name, u.Err)
+			}
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			u := RunEngine(spec)
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			if u.Err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", name, q.Name, u.Err)
+			}
+			r := EngineBenchResult{
+				Engine:          name,
+				Dataset:         d.Name,
+				Pattern:         q.Name,
+				NsOp:            float64(elapsed.Nanoseconds()),
+				AllocsOp:        int64(after.Mallocs - before.Mallocs),
+				BytesOp:         int64(after.TotalAlloc - before.TotalAlloc),
+				Embeddings:      u.Total,
+				TreeNodesPerSec: u.TreeNodesPerSec(),
+			}
+			if secs := elapsed.Seconds(); secs > 0 {
+				r.EmbeddingsPerSec = float64(u.Total) / secs
+			}
+			rep.Engines = append(rep.Engines, r)
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report with stable indentation.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

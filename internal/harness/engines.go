@@ -34,8 +34,21 @@ type Uniform struct {
 	Seconds float64
 	CommMB  float64
 	PeakMB  float64
-	OOM     bool // the engine died of ErrOutOfMemory (paper: empty bar)
-	Err     error
+	// TreeNodes counts the run's successful partial matches, when the
+	// engine reports them (RADS does; 0 otherwise). TreeNodes/Seconds
+	// is the harness's engine-agnostic throughput metric.
+	TreeNodes int64
+	OOM       bool // the engine died of ErrOutOfMemory (paper: empty bar)
+	Err       error
+}
+
+// TreeNodesPerSec returns the run's search-tree throughput, 0 when the
+// engine does not report tree nodes or the run was instantaneous.
+func (u Uniform) TreeNodesPerSec() float64 {
+	if u.TreeNodes == 0 || u.Seconds <= 0 {
+		return 0
+	}
+	return float64(u.TreeNodes) / u.Seconds
 }
 
 // RunSpec describes one engine execution.
@@ -48,6 +61,9 @@ type RunSpec struct {
 	Part        *partition.Partition
 	Query       *pattern.Pattern
 	BudgetBytes int64 // per-machine; 0 = unlimited
+	// Workers is the intra-machine worker-pool hint forwarded to the
+	// engine (0 = engine default; ignored by engines without a pool).
+	Workers int
 
 	// Ctx cancels the run between units of work; every registered
 	// engine with the Cancellation capability honours it (RADS between
@@ -88,6 +104,7 @@ func RunEngine(spec RunSpec) Uniform {
 		Metrics:     metrics,
 		Budget:      budget,
 		OnEmbedding: spec.OnEmbedding,
+		Workers:     spec.Workers,
 	}
 	if err := engine.ValidateRequest(e, req); err != nil {
 		u.Err = err
@@ -110,6 +127,7 @@ func RunEngine(spec RunSpec) Uniform {
 	u.Total = res.Total
 	u.Seconds = res.Seconds
 	u.OOM = res.OOM
+	u.TreeNodes = res.TreeNodes
 	u.CommMB = float64(metrics.TotalBytes()) / (1 << 20)
 	if budget != nil {
 		u.PeakMB = float64(budget.MaxPeak()) / (1 << 20)

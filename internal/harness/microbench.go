@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"testing"
+
+	"rads/internal/gen"
+	"rads/internal/graph"
+)
+
+// This file is the micro-benchmark surface for the intersection
+// kernels: one fixture and two candidate-generation implementations —
+// the seed path (smallest adjacency list + per-element HasEdge and
+// constraint filtering, exactly what the pre-kernel enumerator did)
+// and the kernel path (k-way adaptive intersection with a lower-bound
+// skip). The root-level BenchmarkIntersect* benchmarks and radsbench
+// -json both run these, so the numbers in BENCH_PR3.json and `go test
+// -bench` come from the same code.
+
+// MicroFixture is a hub-heavy candidate-generation scenario: two
+// matched hub neighbours whose adjacency lists must be intersected
+// above a symmetry-breaking lower bound — the workload where the seed
+// path was weakest (it walked the whole smaller hub list, filtering
+// per element).
+type MicroFixture struct {
+	G          *graph.Graph
+	Small, Big []graph.VertexID // skewed pair: mid-degree list vs hub adjacency
+	Mid        []graph.VertexID // a mid-degree list for comparable-size merges
+
+	// The hub-heavy candidate-generation scenario: both matched
+	// neighbours are hubs, so the seed path's base list (the smaller
+	// hub adjacency) has thousands of elements to filter one by one.
+	HubA, HubB []graph.VertexID // |HubA| <= |HubB|
+	HubBV      graph.VertexID   // the vertex whose adjacency is HubB
+	HubLB      graph.VertexID   // symmetry lower bound for the hub scenario
+}
+
+// NewMicroFixture builds the shared benchmark scenario on a power-law
+// graph: Small is a mid-degree candidate list, Big is the top hub's
+// adjacency (tens of times longer — the skew galloping exploits),
+// candidates ascend, and the lower bound sits mid-list so the
+// binary-search skip matters.
+func NewMicroFixture() *MicroFixture {
+	g := gen.PowerLaw(20000, 10, 2.2, 1500, 7)
+	hub := graph.VertexID(0)
+	for v := 1; v < g.NumVertices(); v++ {
+		if g.Degree(graph.VertexID(v)) > g.Degree(hub) {
+			hub = graph.VertexID(v)
+		}
+	}
+	// Small: a mid-degree neighbour of the hub (guaranteeing a real
+	// overlap); Mid: another list of comparable size for the merge
+	// regime.
+	var small, mid []graph.VertexID
+	for _, v := range g.Adj(hub) {
+		if d := g.Degree(v); d >= 48 && d <= 160 {
+			if small == nil {
+				small = g.Adj(v)
+			} else if len(g.Adj(v)) != len(small) {
+				mid = g.Adj(v)
+				break
+			}
+		}
+	}
+	if small == nil {
+		small = g.Adj(g.Adj(hub)[0])
+	}
+	if mid == nil {
+		mid = small
+	}
+	// Second hub for the hub-heavy candidate scenario.
+	hub2 := graph.VertexID(-1)
+	for v := 0; v < g.NumVertices(); v++ {
+		vv := graph.VertexID(v)
+		if vv != hub && (hub2 < 0 || g.Degree(vv) > g.Degree(hub2)) {
+			hub2 = vv
+		}
+	}
+	hubA, hubB, hubBV := g.Adj(hub2), g.Adj(hub), hub
+	if len(hubA) > len(hubB) {
+		hubA, hubB = hubB, hubA
+		hubBV = hub2
+	}
+	return &MicroFixture{
+		G:     g,
+		Small: small,
+		Big:   g.Adj(hub),
+		Mid:   mid,
+		HubA:  hubA,
+		HubB:  hubB,
+		HubBV: hubBV,
+		HubLB: hubA[len(hubA)/2],
+	}
+}
+
+// SeedCandidates replicates the pre-kernel enumerator's candidate
+// loop on the hub-heavy scenario: walk the smallest matched
+// neighbour's adjacency list (a hub's, thousands of entries) and test
+// every element — symmetry constraint (candidate > HubLB), used set
+// (a map, as the seed allocated per start candidate), then HasEdge
+// against the other matched neighbour (binary search per element).
+// Returns the number of surviving candidates.
+func (fx *MicroFixture) SeedCandidates(used map[graph.VertexID]bool) int {
+	n := 0
+	for _, v := range fx.HubA {
+		if used[v] {
+			continue
+		}
+		if !(v > fx.HubLB) {
+			continue
+		}
+		if !fx.G.HasEdge(v, fx.HubBV) {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// KernelCandidates is the same computation on the shared kernels: a
+// lower-bound intersection (binary-search skip past HubLB, then the
+// adaptive merge/gallop kernel). dst is caller scratch; the returned
+// slice aliases it. The used-set test the enumerator applies per
+// candidate is a bitset probe, excluded from both paths equally (the
+// map probe stays in SeedCandidates because the seed path paid it as
+// part of candidate filtering).
+func (fx *MicroFixture) KernelCandidates(dst []graph.VertexID) []graph.VertexID {
+	return graph.IntersectSortedFrom(dst, fx.HubA, fx.HubB, fx.HubLB)
+}
+
+// MicroResult is one micro-benchmark measurement for BENCH_PR3.json.
+type MicroResult struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	BytesOp  int64   `json:"bytes_op"`
+}
+
+// MicroBenchmark is one named kernel benchmark body, shared verbatim
+// between the root-level BenchmarkIntersect sub-benchmarks and the
+// radsbench -json report — one implementation, one set of numbers.
+type MicroBenchmark struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// MicroBenchmarks returns the kernel suite over fx. The seed/kernel
+// candidate pair is the before/after evidence for the hub-heavy
+// candidate-generation speedup.
+func MicroBenchmarks(fx *MicroFixture) []MicroBenchmark {
+	return []MicroBenchmark{
+		// Linear merge on similarly sized lists — the regime where
+		// merging is the right kernel.
+		{"merge_comparable", func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(fx.Small))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = graph.IntersectSortedMerge(dst, fx.Small, fx.Mid)
+			}
+		}},
+		// The seed kernel on a skewed pair (candidate list vs hub
+		// adjacency) — the baseline galloping beats.
+		{"merge_skewed", func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(fx.Small))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = graph.IntersectSortedMerge(dst, fx.Small, fx.Big)
+			}
+		}},
+		// Galloping on the same skewed pair.
+		{"gallop_skewed", func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(fx.Small))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = graph.IntersectSortedGallop(dst, fx.Small, fx.Big)
+			}
+		}},
+		// Three-list adaptive fold, shortest first.
+		{"kway", func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(fx.Small))
+			lists := make([][]graph.VertexID, 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lists[0], lists[1], lists[2] = fx.Mid, fx.Small, fx.Big
+				dst = graph.IntersectMany(dst, lists...)
+			}
+		}},
+		// The pre-kernel enumerator's hub-heavy candidate generation:
+		// walk the smallest adjacency list, filter each element by
+		// constraint and per-element HasEdge.
+		{"candidates_seed_path", func(b *testing.B) {
+			used := make(map[graph.VertexID]bool)
+			b.ReportAllocs()
+			b.ResetTimer()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				n += fx.SeedCandidates(used)
+			}
+			if n == 0 {
+				b.Fatal("fixture produced no candidates")
+			}
+		}},
+		// The same candidate set via the shared kernels: lower-bound
+		// skip + galloping intersection. The acceptance bar for PR 3
+		// is >= 2x over the seed path.
+		{"candidates_kernel_path", func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(fx.HubA))
+			b.ReportAllocs()
+			b.ResetTimer()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				dst = fx.KernelCandidates(dst)
+				n += len(dst)
+			}
+			if n == 0 {
+				b.Fatal("fixture produced no candidates")
+			}
+		}},
+	}
+}
+
+// RunMicroBenchmarks measures the shared suite with testing.Benchmark
+// for the radsbench -json report.
+func RunMicroBenchmarks() []MicroResult {
+	fx := NewMicroFixture()
+	var out []MicroResult
+	for _, mb := range MicroBenchmarks(fx) {
+		r := testing.Benchmark(mb.Fn)
+		out = append(out, MicroResult{
+			Name:     mb.Name,
+			NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}

@@ -5,13 +5,23 @@
 //
 // The implementation is TurboIso-flavoured backtracking: a
 // connectivity-aware matching order, degree filtering, and candidate
-// refinement by intersecting the adjacency lists of already-matched
-// neighbours. TurboIso's candidate-region and NEC machinery are
-// performance refinements of the same exploration and are not needed
-// for the reproduction (documented in DESIGN.md).
+// generation by k-way intersection of the adjacency lists of all
+// already-matched neighbours (internal/graph's adaptive kernels:
+// linear merge, galloping on skewed lists, lower-bound skip for
+// symmetry-breaking constraints). TurboIso's candidate-region and NEC
+// machinery are performance refinements of the same exploration and
+// are not needed for the reproduction (documented in DESIGN.md).
+//
+// The core type is the reusable Enumerator: all state — the partial
+// embedding, a used-vertex bitset, and per-level candidate scratch —
+// is allocated at New and reused across Run calls, so the steady-state
+// inner loop is allocation-free. Enumerate and Count are thin
+// single-shot wrappers.
 package localenum
 
 import (
+	"math"
+
 	"rads/internal/graph"
 	"rads/internal/pattern"
 )
@@ -31,11 +41,12 @@ type Options struct {
 	// "owned by this machine".
 	Allowed func(graph.VertexID) bool
 	// StartCandidates restricts candidates of Order[0]; nil tries all
-	// allowed data vertices.
+	// allowed data vertices. Run calls without explicit starts fall
+	// back to this set.
 	StartCandidates []graph.VertexID
 }
 
-// Stats reports work done by one Enumerate call.
+// Stats reports work done by one Run/Enumerate call.
 type Stats struct {
 	Embeddings int64 // full embeddings reported
 	TreeNodes  int64 // successful partial matches, including full ones;
@@ -48,10 +59,58 @@ type Stats struct {
 // query vertex u. The slice is reused; copy it to retain. Enumeration
 // stops early if fn returns false.
 func Enumerate(g *graph.Graph, p *pattern.Pattern, opts Options, fn func(f []graph.VertexID) bool) Stats {
-	n := p.N()
-	if n == 0 {
+	if p.N() == 0 {
 		return Stats{}
 	}
+	return New(g, p, opts).Run(fn)
+}
+
+// Count returns the number of embeddings of p in g under opts.
+func Count(g *graph.Graph, p *pattern.Pattern, opts Options) int64 {
+	st := Enumerate(g, p, opts, func([]graph.VertexID) bool { return true })
+	return st.Embeddings
+}
+
+type posConstraint struct {
+	other pattern.VertexID
+	less  bool // true: f[u] < f[other] required; false: f[u] > f[other]
+}
+
+// noUpperBound is the sentinel for "no f[u] < f[other] constraint
+// applies at this level" (data-vertex IDs are int32).
+const noUpperBound = graph.VertexID(math.MaxInt32)
+
+// Enumerator is a reusable single-machine enumerator. All scratch
+// state is allocated by New (plus lazy per-level growth on the first
+// runs) and reused across Run calls, so a long-lived Enumerator — one
+// per RADS worker — enumerates candidate after candidate without
+// allocating. An Enumerator is NOT safe for concurrent use; create one
+// per goroutine.
+type Enumerator struct {
+	g       *graph.Graph
+	p       *pattern.Pattern
+	order   []pattern.VertexID
+	allowed func(graph.VertexID) bool
+	starts  []graph.VertexID // default start candidates (Options.StartCandidates)
+
+	f    []graph.VertexID // partial embedding, indexed by query vertex
+	used bitset           // data vertices matched so far
+
+	prevAdj [][]pattern.VertexID // earlier-matched query neighbours per level
+	cons    [][]posConstraint    // symmetry constraints applying at each level
+
+	cand  [][]graph.VertexID // per-level candidate scratch (reused)
+	lists [][]graph.VertexID // k-way intersection input scratch (reused)
+
+	fn      func([]graph.VertexID) bool
+	stats   Stats
+	stopped bool
+}
+
+// New builds an Enumerator for p over g. The returned enumerator owns
+// all its scratch state; Run may be called any number of times.
+func New(g *graph.Graph, p *pattern.Pattern, opts Options) *Enumerator {
+	n := p.N()
 	order := opts.Order
 	if order == nil {
 		order = GreedyOrder(p)
@@ -60,23 +119,23 @@ func Enumerate(g *graph.Graph, p *pattern.Pattern, opts Options, fn func(f []gra
 	if cons == nil {
 		cons = p.SymmetryBreaking()
 	}
-
-	e := &enumerator{
+	e := &Enumerator{
 		g:       g,
 		p:       p,
 		order:   order,
 		allowed: opts.Allowed,
-		fn:      fn,
+		starts:  opts.StartCandidates,
 		f:       make([]graph.VertexID, n),
-		used:    make(map[graph.VertexID]bool, n),
-		scratch: make([][]graph.VertexID, n),
+		used:    newBitset(g.NumVertices()),
+		cand:    make([][]graph.VertexID, n),
+		lists:   make([][]graph.VertexID, 0, n),
 	}
 	for u := range e.f {
 		e.f[u] = -1
 	}
-	// Precompute, for each order position i>0, the earlier-matched
-	// query neighbours of order[i], and the constraints between
-	// order[i] and earlier vertices.
+	// Precompute, for each order position i, the earlier-matched query
+	// neighbours of order[i] and the constraints between order[i] and
+	// earlier vertices.
 	e.prevAdj = make([][]pattern.VertexID, n)
 	e.cons = make([][]posConstraint, n)
 	pos := make([]int, n)
@@ -98,11 +157,36 @@ func Enumerate(g *graph.Graph, p *pattern.Pattern, opts Options, fn func(f []gra
 			}
 		}
 	}
+	return e
+}
 
-	starts := opts.StartCandidates
-	u0 := order[0]
+// Reset clears any sticky early-stop state and the last run's stats.
+// Run does this implicitly; Reset exists for callers that want to
+// observe a clean enumerator between uses.
+func (e *Enumerator) Reset() {
+	e.stats = Stats{}
+	e.stopped = false
+	e.fn = nil
+}
+
+// Run enumerates embeddings whose start (Order[0]) candidate is drawn
+// from starts, calling fn for each full embedding (the slice is reused;
+// copy to retain; return false to stop early). With no starts given it
+// falls back to Options.StartCandidates, then to every allowed data
+// vertex. Returns this run's stats.
+func (e *Enumerator) Run(fn func(f []graph.VertexID) bool, starts ...graph.VertexID) Stats {
+	e.stats = Stats{}
+	e.stopped = false
+	if len(e.order) == 0 {
+		return e.stats // empty pattern: nothing to match
+	}
+	e.fn = fn
+	if len(starts) == 0 {
+		starts = e.starts
+	}
+	u0 := e.order[0]
 	if starts == nil {
-		for v := 0; v < g.NumVertices(); v++ {
+		for v := 0; v < e.g.NumVertices(); v++ {
 			e.tryStart(u0, graph.VertexID(v))
 			if e.stopped {
 				break
@@ -116,81 +200,51 @@ func Enumerate(g *graph.Graph, p *pattern.Pattern, opts Options, fn func(f []gra
 			}
 		}
 	}
+	e.fn = nil
 	return e.stats
 }
 
-// Count returns the number of embeddings of p in g under opts.
-func Count(g *graph.Graph, p *pattern.Pattern, opts Options) int64 {
-	st := Enumerate(g, p, opts, func([]graph.VertexID) bool { return true })
-	return st.Embeddings
-}
-
-type posConstraint struct {
-	other pattern.VertexID
-	less  bool // true: f[u] < f[other] required; false: f[u] > f[other]
-}
-
-type enumerator struct {
-	g       *graph.Graph
-	p       *pattern.Pattern
-	order   []pattern.VertexID
-	allowed func(graph.VertexID) bool
-	fn      func([]graph.VertexID) bool
-	f       []graph.VertexID
-	used    map[graph.VertexID]bool
-	prevAdj [][]pattern.VertexID
-	cons    [][]posConstraint
-	scratch [][]graph.VertexID
-	stats   Stats
-	stopped bool
-}
-
-func (e *enumerator) tryStart(u0 pattern.VertexID, v graph.VertexID) {
-	if !e.admissible(0, u0, v) {
+func (e *Enumerator) tryStart(u0 pattern.VertexID, v graph.VertexID) {
+	if v < 0 || int(v) >= e.g.NumVertices() {
+		return
+	}
+	if e.g.Degree(v) < e.p.Degree(u0) {
+		return
+	}
+	if e.allowed != nil && !e.allowed(v) {
 		return
 	}
 	e.f[u0] = v
-	e.used[v] = true
+	e.used.set(v)
 	e.stats.TreeNodes++
 	e.extend(1)
-	e.used[v] = false
+	e.used.clear(v)
 	e.f[u0] = -1
 }
 
-// admissible checks degree, ownership, injectivity, symmetry
-// constraints, and adjacency to all previously matched neighbours.
-func (e *enumerator) admissible(i int, u pattern.VertexID, v graph.VertexID) bool {
-	if e.used[v] {
-		return false
-	}
-	if e.g.Degree(v) < e.p.Degree(u) {
-		return false
-	}
-	if e.allowed != nil && !e.allowed(v) {
-		return false
-	}
+// bounds derives the candidate interval at level i from the symmetry
+// constraints: candidates must satisfy lb < v < ub.
+func (e *Enumerator) bounds(i int) (lb, ub graph.VertexID) {
+	lb, ub = -1, noUpperBound
 	for _, c := range e.cons[i] {
 		o := e.f[c.other]
 		if c.less {
-			if !(v < o) {
-				return false
+			if o < ub {
+				ub = o
 			}
-		} else if !(v > o) {
-			return false
+		} else if o > lb {
+			lb = o
 		}
 	}
-	for _, w := range e.prevAdj[i] {
-		if !e.g.HasEdge(v, e.f[w]) {
-			return false
-		}
-	}
-	return true
+	return lb, ub
 }
 
-func (e *enumerator) extend(i int) {
-	if e.stopped {
-		return
-	}
+// extend matches order[i] and recurses. Candidates are generated by
+// k-way intersection of the matched neighbours' adjacency lists,
+// starting above the symmetry lower bound; the remaining checks per
+// candidate are the used-bitset, the degree filter, the upper bound
+// (an early break, since candidates ascend) and the Allowed predicate.
+func (e *Enumerator) extend(i int) {
 	if i == len(e.order) {
 		e.stats.Embeddings++
 		if !e.fn(e.f) {
@@ -199,44 +253,90 @@ func (e *enumerator) extend(i int) {
 		return
 	}
 	u := e.order[i]
-	// Candidates: neighbours of the matched neighbour with the smallest
-	// adjacency list (there is always at least one by order validity).
-	var base []graph.VertexID
-	for _, w := range e.prevAdj[i] {
-		a := e.g.Adj(e.f[w])
-		if base == nil || len(a) < len(base) {
-			base = a
-		}
-	}
-	if base == nil {
+	lb, ub := e.bounds(i)
+	prev := e.prevAdj[i]
+
+	var cands []graph.VertexID
+	switch len(prev) {
+	case 0:
 		// Disconnected order: fall back to all vertices (used only by
 		// tests; plan-derived orders are connectivity-aware).
-		for v := 0; v < e.g.NumVertices(); v++ {
-			e.tryVertex(i, u, graph.VertexID(v))
-			if e.stopped {
-				return
-			}
-		}
+		e.extendDisconnected(i, u, lb, ub)
 		return
+	case 1:
+		// Single matched neighbour: its adjacency list IS the candidate
+		// set; skip to the lower bound without copying.
+		adj := e.g.Adj(e.f[prev[0]])
+		cands = adj[graph.SearchSorted(adj, lb+1):]
+	default:
+		lists := e.lists[:0]
+		for _, w := range prev {
+			lists = append(lists, e.g.Adj(e.f[w]))
+		}
+		e.lists = lists
+		e.cand[i] = graph.IntersectManyFrom(e.cand[i], lb, lists...)
+		cands = e.cand[i]
 	}
-	for _, v := range base {
-		e.tryVertex(i, u, v)
+
+	minDeg := e.p.Degree(u)
+	for _, v := range cands {
+		if v >= ub {
+			break // candidates ascend; nothing further can satisfy v < ub
+		}
+		if e.used.has(v) || e.g.Degree(v) < minDeg {
+			continue
+		}
+		if e.allowed != nil && !e.allowed(v) {
+			continue
+		}
+		e.f[u] = v
+		e.used.set(v)
+		e.stats.TreeNodes++
+		e.extend(i + 1)
+		e.used.clear(v)
+		e.f[u] = -1
 		if e.stopped {
 			return
 		}
 	}
 }
 
-func (e *enumerator) tryVertex(i int, u pattern.VertexID, v graph.VertexID) {
-	if !e.admissible(i, u, v) {
-		return
+// extendDisconnected handles a level with no earlier-matched
+// neighbour: every allowed vertex in (lb, ub) is a candidate.
+func (e *Enumerator) extendDisconnected(i int, u pattern.VertexID, lb, ub graph.VertexID) {
+	minDeg := e.p.Degree(u)
+	for v := lb + 1; v < graph.VertexID(e.g.NumVertices()); v++ {
+		if v >= ub {
+			break
+		}
+		if e.used.has(v) || e.g.Degree(v) < minDeg {
+			continue
+		}
+		if e.allowed != nil && !e.allowed(v) {
+			continue
+		}
+		e.f[u] = v
+		e.used.set(v)
+		e.stats.TreeNodes++
+		e.extend(i + 1)
+		e.used.clear(v)
+		e.f[u] = -1
+		if e.stopped {
+			return
+		}
 	}
-	e.f[u] = v
-	e.used[v] = true
-	e.stats.TreeNodes++
-	e.extend(i + 1)
-	e.used[v] = false
-	e.f[u] = -1
+}
+
+// bitset is a fixed-size bitmap over data-vertex IDs — the
+// allocation-free replacement for the per-run map[VertexID]bool the
+// seed enumerator rebuilt for every start candidate.
+type bitset []uint64
+
+func newBitset(n int) bitset            { return make(bitset, (n+63)/64) }
+func (b bitset) set(v graph.VertexID)   { b[v>>6] |= 1 << (uint(v) & 63) }
+func (b bitset) clear(v graph.VertexID) { b[v>>6] &^= 1 << (uint(v) & 63) }
+func (b bitset) has(v graph.VertexID) bool {
+	return b[v>>6]&(1<<(uint(v)&63)) != 0
 }
 
 // GreedyOrder returns a connectivity-aware matching order: the highest

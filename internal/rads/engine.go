@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -59,6 +60,15 @@ type Config struct {
 	// one region group may occupy (Section 6). 0 derives it from the
 	// budget (a quarter of it) or falls back to 4 MiB.
 	GroupMemTarget int64
+	// Workers is the number of concurrent enumeration workers per
+	// simulated machine: SM-E candidates and region groups fan out
+	// across a pool of this size, each worker owning one reusable
+	// enumerator and one adjacency-cache view. 0 derives a default from
+	// GOMAXPROCS and the machine count (at least 1); 1 reproduces the
+	// seed's fully sequential per-machine behaviour. Counts are
+	// identical at any setting — workers only share the group queue and
+	// commutative counters.
+	Workers int
 
 	// DisableSME forces every candidate through the distributed path
 	// (ablation; Section 3.1 claims SM-E cuts cost).
@@ -82,7 +92,8 @@ type Config struct {
 
 	// OnEmbedding, if non-nil, receives every embedding found (f is
 	// indexed by query vertex and reused; copy to retain). It must be
-	// safe for concurrent calls from different machines.
+	// safe for concurrent calls from different machines; within one
+	// machine, delivery is serialized even when Workers > 1.
 	OnEmbedding func(machine int, f []graph.VertexID)
 }
 
@@ -110,6 +121,13 @@ type Result struct {
 	RegionGroups int // total region groups formed
 	StolenGroups int // groups processed via shareR
 	Rounds       int // rounds per region group (= plan units)
+	Workers      int // enumeration workers per machine this run used
+
+	// TreeNodes counts successful partial matches across the run: SM-E
+	// recursion nodes plus embedding-trie nodes linked by R-Meef. It is
+	// the engine-agnostic work measure behind the harness's
+	// tree-nodes/sec metric.
+	TreeNodes int64
 
 	// DeferredEnds is the number of end vertices the run counted by
 	// combination instead of materializing (0 when the optimization
@@ -335,6 +353,21 @@ func (e *engine) precompute() {
 	}
 }
 
+// workers resolves Config.Workers: an explicit setting wins, otherwise
+// the machine's share of the process's CPUs (the simulated machines
+// already run as one goroutine each, so each gets GOMAXPROCS/M cores'
+// worth of intra-machine parallelism, and at least one worker).
+func (e *engine) workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	w := runtime.GOMAXPROCS(0) / e.part.M
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 func (e *engine) groupMemTarget() int64 {
 	if e.cfg.GroupMemTarget > 0 {
 		return e.cfg.GroupMemTarget
@@ -373,11 +406,13 @@ func (e *engine) run() (*Result, error) {
 		CommMessages: e.metrics.TotalMessages(),
 		Rounds:       e.pl.NumRounds(),
 		DeferredEnds: len(e.deferred),
+		Workers:      e.workers(),
 	}
 	for _, m := range e.machines {
 		res.Total += m.smeCount + m.distCount
 		res.SME += m.smeCount
 		res.Distributed += m.distCount
+		res.TreeNodes += m.smeNodes + m.distNodes
 		res.MachineElapsed = append(res.MachineElapsed, m.elapsed)
 		res.ELBytesCum += m.elCum
 		res.ETBytesCum += m.etCum

@@ -66,6 +66,7 @@ func (e apiEngine) Run(ctx context.Context, req eng.Request) (eng.Result, error)
 		Metrics:     req.Metrics,
 		Budget:      req.Budget,
 		OnEmbedding: req.OnEmbedding,
+		Workers:     req.Workers,
 	}
 	if req.Artifact != nil {
 		pa, ok := req.Artifact.(PlanArtifact)
@@ -83,7 +84,7 @@ func (e apiEngine) Run(ctx context.Context, req eng.Request) (eng.Result, error)
 		}
 		return eng.Result{}, err
 	}
-	return eng.Result{Total: res.Total, Seconds: secs}, nil
+	return eng.Result{Total: res.Total, Seconds: secs, TreeNodes: res.TreeNodes}, nil
 }
 
 func init() { eng.Register(apiEngine{}) }

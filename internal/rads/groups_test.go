@@ -145,11 +145,15 @@ func TestViewDiscipline(t *testing.T) {
 			foreign = graph.VertexID(x)
 		}
 	}
-	if _, ok := v.adjKnown(local); !ok {
+	st := &groupState{view: v}
+	if _, ok := st.adjKnown(local); !ok {
 		t.Error("owned vertex must be known")
 	}
-	if _, ok := v.adjKnown(foreign); ok {
+	if _, ok := st.adjKnown(foreign); ok {
 		t.Error("foreign vertex must be unknown before fetch")
+	}
+	if v.pinCached(foreign) {
+		t.Error("pinCached must miss before fetch")
 	}
 	// mustAdj on unfetched foreign vertex panics: the discipline check.
 	func() {
@@ -158,20 +162,29 @@ func TestViewDiscipline(t *testing.T) {
 				t.Error("mustAdj should panic on unfetched foreign vertex")
 			}
 		}()
-		v.mustAdj(foreign)
+		st.mustAdj(foreign)
 	}()
-	if err := v.insert(foreign, g.Adj(foreign)); err != nil {
+	if err := v.insertPinned(foreign, g.Adj(foreign)); err != nil {
 		t.Fatal(err)
 	}
-	if !v.cached(foreign) {
-		t.Error("insert did not cache")
+	st.logPin(foreign)
+	if _, ok := v.cachedAdj(foreign); !ok {
+		t.Error("insertPinned did not cache")
 	}
-	if got := v.mustAdj(foreign); len(got) != g.Degree(foreign) {
+	if got := st.mustAdj(foreign); len(got) != g.Degree(foreign) {
 		t.Error("cached adjacency differs")
 	}
+	// A pinned entry survives the drop: the in-flight-round guarantee
+	// groups rely on when a concurrent group triggers the cache valve.
 	v.dropAll()
-	if v.cached(foreign) {
-		t.Error("dropAll kept an entry")
+	if got := st.mustAdj(foreign); len(got) != g.Degree(foreign) {
+		t.Error("pinned adjacency evicted by dropAll")
+	}
+	// Once the frame unpins, the next drop evicts it.
+	st.unpinTo(0)
+	v.dropAll()
+	if _, ok := v.cachedAdj(foreign); ok {
+		t.Error("dropAll kept an unpinned entry")
 	}
 }
 
@@ -187,8 +200,9 @@ func TestViewEdgeKnown(t *testing.T) {
 			break
 		}
 	}
+	st := &groupState{view: v}
 	nb := g.Adj(local)[0]
-	if exists, det := v.edgeKnown(local, nb); !det || !exists {
+	if exists, det := st.edgeKnown(local, nb); !det || !exists {
 		t.Errorf("edge with local endpoint: exists=%v det=%v", exists, det)
 	}
 	// An edge between two foreign vertices is undetermined.
@@ -204,7 +218,7 @@ func TestViewEdgeKnown(t *testing.T) {
 		}
 	}
 	if f2 >= 0 {
-		if _, det := v.edgeKnown(f1, f2); det {
+		if _, det := st.edgeKnown(f1, f2); det {
 			t.Error("edge between two unfetched foreign vertices must be undetermined")
 		}
 	}

@@ -3,6 +3,8 @@ package rads
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rads/internal/cluster"
@@ -12,19 +14,37 @@ import (
 
 // machine is one worker of the simulated cluster: it owns a partition,
 // runs SM-E then R-Meef over its region groups, serves daemon requests
-// from other machines, and steals work when idle.
+// from other machines, and steals work when idle. Within the machine,
+// SM-E candidates and region groups fan out across a bounded pool of
+// engine.workers() goroutines; each pool worker owns one reusable
+// enumerator and one adjacency-cache view, so workers never contend on
+// scratch state — only on the group queue and the merge of commutative
+// counters.
 type machine struct {
 	e  *engine
 	id int
 
-	view *view // local-knowledge discipline: own partition + cache
+	// view is the machine's local-knowledge discipline: own partition
+	// plus the fetched-adjacency cache, shared by all pool workers under
+	// its lock so each foreign vertex crosses the network once per
+	// machine, not once per worker. Groups pin the lists they fetched
+	// for their in-flight rounds (groupState.pinned), so a concurrent
+	// group's cache-pressure drop never invalidates them mid-use.
+	view *view
 
 	queue *groupQueue // unprocessed region groups (shared with daemon)
 
-	// Results.
+	// Results. distCount/distNodes and the compression accounting are
+	// merged from per-group state under mu; smeCount/smeNodes are merged
+	// from per-worker shards at the SM-E barrier.
+	mu        sync.Mutex
 	smeCount  int64
 	distCount int64
 	elapsed   time.Duration
+
+	// Tree-node accounting: SM-E recursion nodes and R-Meef trie nodes.
+	smeNodes  int64
+	distNodes int64
 
 	// Compression accounting.
 	elCum, etCum   int64
@@ -33,11 +53,15 @@ type machine struct {
 	groupsFormed int
 	groupsStolen int
 
-	// Memory-estimate sample from SM-E (Section 6): average embedding
-	// trie nodes per processed candidate.
-	avgNodesPerCandidate float64
+	// embMu serializes OnEmbedding delivery within this machine so
+	// streaming consumers observe one well-ordered stream per machine
+	// regardless of Workers.
+	embMu sync.Mutex
 
-	chargedTrie int64 // budget bytes currently charged for the trie
+	// Memory-estimate sample from SM-E (Section 6): average embedding
+	// trie nodes per processed candidate. Written once at the SM-E
+	// barrier, read-only afterwards.
+	avgNodesPerCandidate float64
 }
 
 func newMachine(e *engine, id int) *machine {
@@ -47,6 +71,14 @@ func newMachine(e *engine, id int) *machine {
 		view:  newView(e, id),
 		queue: newGroupQueue(),
 	}
+}
+
+// emit hands one embedding to the configured callback, serialized per
+// machine.
+func (m *machine) emit(f []graph.VertexID) {
+	m.embMu.Lock()
+	m.e.cfg.OnEmbedding(m.id, f)
+	m.embMu.Unlock()
 }
 
 // handle is the daemon thread: it serves the four request kinds of
@@ -138,18 +170,10 @@ func (m *machine) run() (err error) {
 	m.groupsFormed = len(groups)
 	m.queue.Fill(groups)
 
-	// Process own groups; the daemon may give some of them away.
-	for {
-		if err := m.e.checkCtx(); err != nil {
-			return err
-		}
-		g, ok := m.queue.Pop()
-		if !ok {
-			break
-		}
-		if err := m.processGroup(g); err != nil {
-			return err
-		}
+	// Process own groups across the worker pool; the daemon may give
+	// some of them away concurrently via shareR.
+	if err := m.processGroups(); err != nil {
+		return err
 	}
 
 	// Work stealing (Section 3.1 checkR/shareR).
@@ -161,29 +185,106 @@ func (m *machine) run() (err error) {
 	return nil
 }
 
-// runSME enumerates every C1 candidate with the single-machine
-// algorithm, restricted to vertices this machine owns.
-func (m *machine) runSME(c1 []graph.VertexID) error {
-	owned := func(v graph.VertexID) bool { return m.e.part.Owner[v] == int32(m.id) }
-	var totalNodes int64
-	for _, v := range c1 {
-		if err := m.e.checkCtx(); err != nil {
+// processGroups drains the machine's group queue with engine.workers()
+// pool workers. The pool is a barrier: all workers finish (queue empty
+// or error) before the machine moves on. The first failure (context
+// cancellation, ErrOutOfMemory, transport death) flips an abort flag
+// so sibling workers stop before popping further groups — the prompt
+// abort the sequential loop had.
+func (m *machine) processGroups() error {
+	workers := m.e.workers()
+	var wg sync.WaitGroup
+	var aborted atomic.Bool
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !aborted.Load() {
+				if err := m.e.checkCtx(); err != nil {
+					errs[w] = err
+					aborted.Store(true)
+					return
+				}
+				g, ok := m.queue.Pop()
+				if !ok {
+					return
+				}
+				if err := m.processGroup(g); err != nil {
+					errs[w] = err
+					aborted.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
-		st := localenum.Enumerate(m.e.g, m.e.p, localenum.Options{
-			Order:           m.e.pl.Order,
-			Constraints:     m.e.cons,
-			Allowed:         owned,
-			StartCandidates: []graph.VertexID{v},
-		}, func(f []graph.VertexID) bool {
-			m.smeCount++
-			if m.e.cfg.OnEmbedding != nil {
-				m.e.cfg.OnEmbedding(m.id, f)
-			}
-			return true
-		})
-		totalNodes += st.TreeNodes
 	}
+	return nil
+}
+
+// runSME enumerates every C1 candidate with the single-machine
+// algorithm, restricted to vertices this machine owns. Candidates fan
+// out across the worker pool; every worker reuses one enumerator
+// (frame, bitset and candidate scratch allocated once), so the
+// steady-state loop is allocation-free. Counter shards merge at the
+// barrier; per-candidate tree-node sampling feeds the Section 6 memory
+// estimator exactly as in the sequential path.
+func (m *machine) runSME(c1 []graph.VertexID) error {
+	owned := func(v graph.VertexID) bool { return m.e.part.Owner[v] == int32(m.id) }
+	var fn func(f []graph.VertexID) bool
+	if m.e.cfg.OnEmbedding != nil {
+		fn = func(f []graph.VertexID) bool { m.emit(f); return true }
+	} else {
+		fn = func([]graph.VertexID) bool { return true }
+	}
+	workers := m.e.workers()
+	if workers > len(c1) {
+		workers = len(c1)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	counts := make([]int64, workers)
+	nodes := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			en := localenum.New(m.e.g, m.e.p, localenum.Options{
+				Order:       m.e.pl.Order,
+				Constraints: m.e.cons,
+				Allowed:     owned,
+			})
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(c1) {
+					return
+				}
+				if err := m.e.checkCtx(); err != nil {
+					errs[w] = err
+					return
+				}
+				st := en.Run(fn, c1[i])
+				counts[w] += st.Embeddings
+				nodes[w] += st.TreeNodes
+			}
+		}(w)
+	}
+	wg.Wait()
+	var totalNodes int64
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return errs[w]
+		}
+		m.smeCount += counts[w]
+		totalNodes += nodes[w]
+	}
+	m.smeNodes += totalNodes
 	if len(c1) > 0 {
 		m.avgNodesPerCandidate = float64(totalNodes) / float64(len(c1))
 	}
@@ -391,21 +492,47 @@ func (q *groupQueue) Len() int {
 
 // view enforces the distribution discipline: a machine may read the
 // adjacency list of a vertex only if it owns it or has fetched it.
+// One view is shared by all of a machine's pool workers; the cache is
+// guarded by mu, and fetchMu serializes whole fetch phases
+// (need-computation, the fetchV call, insertion), so each foreign
+// adjacency list is fetched, transported and budget-charged once per
+// machine regardless of Workers.
+//
+// Entries a group's in-flight rounds depend on are pinned (a
+// refcount): dropAll — the budget valve and the DisableCache ablation
+// — skips pinned entries, so a list is evicted only when no round
+// still relies on it, and everything resident stays budget-charged.
 type view struct {
-	e     *engine
-	id    int
+	e  *engine
+	id int
+
+	// fetchMu serializes fetch phases across the machine's pool
+	// workers; held across the transport call, which is safe because
+	// the remote daemon never touches this machine's view.
+	fetchMu sync.Mutex
+
+	mu    sync.RWMutex
 	cache map[graph.VertexID][]graph.VertexID
+	pins  map[graph.VertexID]int
 }
 
 func newView(e *engine, id int) *view {
-	return &view{e: e, id: id, cache: make(map[graph.VertexID][]graph.VertexID)}
+	return &view{
+		e:     e,
+		id:    id,
+		cache: make(map[graph.VertexID][]graph.VertexID),
+		pins:  make(map[graph.VertexID]int),
+	}
 }
 
 func (v *view) owned(x graph.VertexID) bool { return v.e.part.Owner[x] == int32(v.id) }
 
-func (v *view) cached(x graph.VertexID) bool {
-	_, ok := v.cache[x]
-	return ok
+// cachedAdj returns x's fetched adjacency list, if present.
+func (v *view) cachedAdj(x graph.VertexID) ([]graph.VertexID, bool) {
+	v.mu.RLock()
+	a, ok := v.cache[x]
+	v.mu.RUnlock()
+	return a, ok
 }
 
 // adjKnown returns the adjacency list of x if locally determinable.
@@ -413,59 +540,58 @@ func (v *view) adjKnown(x graph.VertexID) ([]graph.VertexID, bool) {
 	if v.owned(x) {
 		return v.e.g.Adj(x), true
 	}
-	if a, ok := v.cache[x]; ok {
-		return a, true
-	}
-	return nil, false
+	return v.cachedAdj(x)
 }
 
-// mustAdj returns the adjacency list of x, which the caller has
-// guaranteed is local or fetched; it panics otherwise, catching any
-// violation of the distribution discipline.
-func (v *view) mustAdj(x graph.VertexID) []graph.VertexID {
-	a, ok := v.adjKnown(x)
-	if !ok {
-		panic(fmt.Sprintf("rads: machine %d read unfetched foreign vertex %d", v.id, x))
+// pinCached atomically pins x if it is cached, reporting whether it
+// was. Every successful pin must be matched by one unpin.
+func (v *view) pinCached(x graph.VertexID) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.cache[x]; !ok {
+		return false
 	}
-	return a
-}
-
-// edgeKnown reports (exists, determinable) for data edge (a,b) using
-// only local knowledge.
-func (v *view) edgeKnown(a, b graph.VertexID) (bool, bool) {
-	if adj, ok := v.adjKnown(a); ok {
-		return graph.ContainsSorted(adj, b), true
-	}
-	if adj, ok := v.adjKnown(b); ok {
-		return graph.ContainsSorted(adj, a), true
-	}
-	return false, false
-}
-
-// degreeAtLeast reports whether deg(x) >= d when determinable locally;
-// undeterminable vertices pass (the filter is only a pruning aid).
-func (v *view) degreeAtLeast(x graph.VertexID, d int) bool {
-	if a, ok := v.adjKnown(x); ok {
-		return len(a) >= d
-	}
+	v.pins[x]++
 	return true
 }
 
-// insert caches a fetched adjacency list, charging the budget.
-func (v *view) insert(x graph.VertexID, adj []graph.VertexID) error {
-	if v.cached(x) {
-		return nil
+// insertPinned caches a fetched adjacency list (charging the budget if
+// it is new) and pins it. The charge failure leaves the entry absent
+// and unpinned.
+func (v *view) insertPinned(x graph.VertexID, adj []graph.VertexID) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.cache[x]; !ok {
+		if err := v.e.cfg.Budget.Charge(v.id, cacheEntryBytes(adj)); err != nil {
+			return err
+		}
+		v.cache[x] = adj
 	}
-	if err := v.e.cfg.Budget.Charge(v.id, cacheEntryBytes(adj)); err != nil {
-		return err
-	}
-	v.cache[x] = adj
+	v.pins[x]++
 	return nil
 }
 
-// dropAll empties the cache (DisableCache ablation), releasing budget.
+// unpin releases one pin on x. The entry stays cached (and charged)
+// until a later dropAll finds it unpinned.
+func (v *view) unpin(x graph.VertexID) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.pins[x]--; v.pins[x] <= 0 {
+		delete(v.pins, x)
+	}
+}
+
+// dropAll empties the unpinned part of the cache (DisableCache
+// ablation and the budget valve), releasing budget. Pinned entries —
+// lists an in-flight round still depends on — survive, charged, until
+// their frames unpin them.
 func (v *view) dropAll() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for x, adj := range v.cache {
+		if v.pins[x] > 0 {
+			continue
+		}
 		v.e.cfg.Budget.Release(v.id, cacheEntryBytes(adj))
 		delete(v.cache, x)
 	}

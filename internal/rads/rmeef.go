@@ -13,9 +13,21 @@ import (
 const trieNodeBytes = etrie.NodeBytes
 
 // groupState carries the per-region-group R-Meef state (Algorithm 4).
+// It also shards every counter the group mutates — concurrent groups
+// on one machine's worker pool never touch shared machine state until
+// the merge at the end of processGroup.
 type groupState struct {
 	trie *etrie.Trie
 	evi  *etrie.EVI
+
+	view *view // the machine's shared local-knowledge view
+
+	// pinLog records, in order, every view pin this group's in-flight
+	// rounds acquired; each runRounds frame unpins its suffix on exit.
+	// Pins keep entries resident in the shared cache (dropAll skips
+	// them), so everything a round depends on stays determinable — and
+	// budget-charged — until its frame completes.
+	pinLog []graph.VertexID
 
 	// created collects the EC leaves of the current flush segment: the
 	// results produced since the last verify & filter.
@@ -39,6 +51,15 @@ type groupState struct {
 	// materializing the whole round. 0 disables segmentation (the
 	// paper's plain per-round batching).
 	flushNodes int
+
+	// Per-group result shards, merged into the machine when the group
+	// completes.
+	distCount      int64
+	nodes          int64 // trie nodes linked (tree-node accounting)
+	elCum, etCum   int64
+	elPeak, etPeak int64
+
+	chargedTrie int64 // budget bytes currently charged for the trie
 }
 
 // processGroup runs all R-Meef rounds for one region group.
@@ -47,6 +68,7 @@ func (m *machine) processGroup(group []graph.VertexID) error {
 	st := &groupState{
 		trie: etrie.New(len(e.redOrder)),
 		evi:  etrie.NewEVI(),
+		view: m.view,
 		f:    make([]graph.VertexID, e.p.N()),
 		used: make(map[graph.VertexID]bool, e.p.N()),
 	}
@@ -68,17 +90,84 @@ func (m *machine) processGroup(group []graph.VertexID) error {
 	for _, v := range group {
 		root := st.trie.Node(nil, v)
 		st.trie.Link(root)
+		st.nodes++
 		roots = append(roots, root)
 	}
 
-	if err := m.runRounds(st, 0, roots); err != nil {
-		return err
-	}
+	err := m.runRounds(st, 0, roots)
 
-	// Release the trie's budget charge; the group's results are done.
-	e.cfg.Budget.Release(m.id, m.chargedTrie)
-	m.chargedTrie = 0
-	return nil
+	// Release the trie's budget charge (also on the error path, so an
+	// aborted group does not leak accounted bytes) and merge the
+	// group's counter shards into the machine.
+	e.cfg.Budget.Release(m.id, st.chargedTrie)
+	st.chargedTrie = 0
+	m.mu.Lock()
+	m.distCount += st.distCount
+	m.distNodes += st.nodes
+	m.elCum += st.elCum
+	m.etCum += st.etCum
+	if st.elPeak > m.elPeak {
+		m.elPeak = st.elPeak
+	}
+	if st.etPeak > m.etPeak {
+		m.etPeak = st.etPeak
+	}
+	m.mu.Unlock()
+	return err
+}
+
+// adjKnown returns the adjacency list of x if determinable by this
+// group: owned vertices or the machine's shared cache (entries the
+// group's rounds depend on are pinned there, so they cannot be
+// evicted from under an in-flight frame).
+func (st *groupState) adjKnown(x graph.VertexID) ([]graph.VertexID, bool) {
+	return st.view.adjKnown(x)
+}
+
+// mustAdj returns the adjacency list of x, which the caller has
+// guaranteed is local or fetched-and-pinned; it panics otherwise,
+// catching any violation of the distribution discipline.
+func (st *groupState) mustAdj(x graph.VertexID) []graph.VertexID {
+	a, ok := st.adjKnown(x)
+	if !ok {
+		panic(fmt.Sprintf("rads: machine %d read unfetched foreign vertex %d", st.view.id, x))
+	}
+	return a
+}
+
+// edgeKnown reports (exists, determinable) for data edge (a,b) using
+// only local knowledge.
+func (st *groupState) edgeKnown(a, b graph.VertexID) (bool, bool) {
+	if adj, ok := st.adjKnown(a); ok {
+		return graph.ContainsSorted(adj, b), true
+	}
+	if adj, ok := st.adjKnown(b); ok {
+		return graph.ContainsSorted(adj, a), true
+	}
+	return false, false
+}
+
+// degreeAtLeast reports whether deg(x) >= d when determinable locally;
+// undeterminable vertices pass (the filter is only a pruning aid).
+func (st *groupState) degreeAtLeast(x graph.VertexID, d int) bool {
+	if a, ok := st.adjKnown(x); ok {
+		return len(a) >= d
+	}
+	return true
+}
+
+// logPin records one acquired view pin for frame-scoped release.
+func (st *groupState) logPin(x graph.VertexID) {
+	st.pinLog = append(st.pinLog, x)
+}
+
+// unpinTo releases every pin recorded after the marker (a former
+// len(pinLog)), letting the next dropAll evict those entries.
+func (st *groupState) unpinTo(marker int) {
+	for _, x := range st.pinLog[marker:] {
+		st.view.unpin(x)
+	}
+	st.pinLog = st.pinLog[:marker]
 }
 
 // runRounds executes rounds round..l for the given frontier (live
@@ -86,6 +175,11 @@ func (m *machine) processGroup(group []graph.VertexID) error {
 // demands it.
 func (m *machine) runRounds(st *groupState, round int, frontier []*etrie.Node) error {
 	e := m.e
+	// Frame-scoped pins: everything this round (and the emit frame)
+	// pins is released when the frame completes, keeping the overlay's
+	// resident set bounded by the in-flight recursion.
+	marker := len(st.pinLog)
+	defer st.unpinTo(marker)
 	if round == len(e.pl.Units) {
 		return m.emitResults(st, frontier)
 	}
@@ -129,13 +223,13 @@ func (m *machine) flushSegment(st *groupState, round int) error {
 		return err
 	}
 	if e.cfg.DisableCache {
-		m.view.dropAll()
+		st.view.dropAll()
 	} else if b := e.cfg.Budget; b != nil && b.Limit() > 0 && b.Used(m.id) > b.Limit()*3/4 {
 		// The paper's cache-release valve: "when more data vertices
 		// need to be fetched, we may release some previously cached
 		// data vertices if necessary". Dropping the cache between
 		// rounds only costs re-fetches, never correctness.
-		m.view.dropAll()
+		st.view.dropAll()
 	}
 	if len(next) == 0 {
 		return nil
@@ -178,13 +272,13 @@ func (m *machine) emitResults(st *groupState, frontier []*etrie.Node) error {
 			continue
 		}
 		if len(e.deferred) == 0 {
-			m.distCount++
+			st.distCount++
 			if e.cfg.OnEmbedding != nil {
 				st.pathBuf = st.trie.AppendPath(st.pathBuf[:0], leaf)
 				for j, v := range st.pathBuf {
 					st.f[e.redOrder[j]] = v
 				}
-				e.cfg.OnEmbedding(m.id, st.f)
+				m.emit(st.f)
 				for j := range st.pathBuf {
 					st.f[e.redOrder[j]] = -1
 				}
@@ -200,7 +294,7 @@ func (m *machine) emitResults(st *groupState, frontier []*etrie.Node) error {
 			st.f[e.redOrder[j]] = v
 			st.used[v] = true
 		}
-		m.distCount += m.countDeferred(st, 0)
+		st.distCount += m.countDeferred(st, 0)
 		for j := 0; j < len(st.pathBuf); j++ {
 			u := e.redOrder[j]
 			delete(st.used, st.f[u])
@@ -223,7 +317,7 @@ func (m *machine) countDeferred(st *groupState, di int) int64 {
 		return 1
 	}
 	d := e.deferred[di]
-	adj := m.view.mustAdj(st.f[e.defPiv[di]])
+	adj := st.mustAdj(st.f[e.defPiv[di]])
 	var total int64
 	for _, v := range adj {
 		if st.used[v] {
@@ -260,6 +354,11 @@ func (m *machine) countDeferred(st *groupState, di int) int64 {
 // lists fetched in earlier rounds).
 func (m *machine) fetchDeferredPivots(st *groupState, frontier []*etrie.Node) error {
 	e := m.e
+	// One fetch phase at a time per machine: a concurrent group's
+	// fetch completes (and inserts) before this need-computation runs,
+	// so each foreign vertex crosses the network once per machine.
+	st.view.fetchMu.Lock()
+	defer st.view.fetchMu.Unlock()
 	need := make(map[int][]graph.VertexID)
 	seen := make(map[graph.VertexID]bool)
 	for _, leaf := range frontier {
@@ -269,10 +368,19 @@ func (m *machine) fetchDeferredPivots(st *groupState, frontier []*etrie.Node) er
 		st.pathBuf = st.trie.AppendPath(st.pathBuf[:0], leaf)
 		for _, piv := range e.defPiv {
 			v := st.pathBuf[e.redPos[piv]]
-			if m.view.owned(v) || m.view.cached(v) || seen[v] {
+			if seen[v] {
 				continue
 			}
 			seen[v] = true
+			if st.view.owned(v) {
+				continue
+			}
+			// DisableCache models a cacheless machine: every round pays
+			// the fetch again, so a cache hit is not taken.
+			if !e.cfg.DisableCache && st.view.pinCached(v) {
+				st.logPin(v) // keep it resident past any cache drop
+				continue
+			}
 			need[int(e.part.Owner[v])] = append(need[int(e.part.Owner[v])], v)
 		}
 	}
@@ -293,9 +401,10 @@ func (m *machine) fetchDeferredPivots(st *groupState, frontier []*etrie.Node) er
 			return fmt.Errorf("fetchV to %d: got %d lists for %d vertices", owner, len(adj), len(vs))
 		}
 		for i, v := range vs {
-			if err := m.view.insert(v, adj[i]); err != nil {
+			if err := st.view.insertPinned(v, adj[i]); err != nil {
 				return err
 			}
+			st.logPin(v)
 		}
 	}
 	return nil
@@ -312,6 +421,9 @@ func (m *machine) fetchForeignPivots(st *groupState, round int, frontier []*etri
 	} else {
 		pivPos = e.redPos[e.pl.Units[round].Piv]
 	}
+	// One fetch phase at a time per machine (see fetchDeferredPivots).
+	st.view.fetchMu.Lock()
+	defer st.view.fetchMu.Unlock()
 	need := make(map[int][]graph.VertexID) // owner -> vertices
 	seen := make(map[graph.VertexID]bool)
 	for _, leaf := range frontier {
@@ -320,10 +432,19 @@ func (m *machine) fetchForeignPivots(st *groupState, round int, frontier []*etri
 		}
 		st.pathBuf = st.trie.AppendPath(st.pathBuf[:0], leaf)
 		v := st.pathBuf[pivPos]
-		if m.view.owned(v) || m.view.cached(v) || seen[v] {
+		if seen[v] {
 			continue
 		}
 		seen[v] = true
+		if st.view.owned(v) {
+			continue
+		}
+		// DisableCache models a cacheless machine: every round pays the
+		// fetch again, so a cache hit is not taken.
+		if !e.cfg.DisableCache && st.view.pinCached(v) {
+			st.logPin(v) // keep it resident past any cache drop
+			continue
+		}
 		owner := int(e.part.Owner[v])
 		need[owner] = append(need[owner], v)
 	}
@@ -344,9 +465,10 @@ func (m *machine) fetchForeignPivots(st *groupState, round int, frontier []*etri
 			return fmt.Errorf("fetchV to %d: got %d lists for %d vertices", owner, len(adj), len(vs))
 		}
 		for i, v := range vs {
-			if err := m.view.insert(v, adj[i]); err != nil {
+			if err := st.view.insertPinned(v, adj[i]); err != nil {
 				return err
 			}
+			st.logPin(v)
 		}
 	}
 	return nil
@@ -378,7 +500,7 @@ func (m *machine) expandRound(st *groupState, round int, frontier []*etrie.Node)
 		}
 
 		vpiv := st.f[piv]
-		adj := m.view.mustAdj(vpiv) // fetched by fetchForeignPivots
+		adj := st.mustAdj(vpiv) // fetched and pinned by fetchForeignPivots
 
 		st.pending = st.pending[:0]
 		// Pin the parent: a mid-round flush may consume and remove every
@@ -444,7 +566,7 @@ func (m *machine) adjEnum(st *groupState, round, li int, parent *etrie.Node, lea
 		if !ok {
 			continue
 		}
-		if !m.view.degreeAtLeast(v, e.p.Degree(u)) {
+		if !st.degreeAtLeast(v, e.p.Degree(u)) {
 			continue
 		}
 		// Verification edges to already-matched query vertices: check
@@ -452,7 +574,7 @@ func (m *machine) adjEnum(st *groupState, round, li int, parent *etrie.Node, lea
 		var undet []graph.Edge
 		for _, w := range e.verif[pos] {
 			fw := st.f[w]
-			exists, determinable := m.view.edgeKnown(v, fw)
+			exists, determinable := st.edgeKnown(v, fw)
 			if determinable {
 				if !exists {
 					ok = false
@@ -475,6 +597,7 @@ func (m *machine) adjEnum(st *groupState, round, li int, parent *etrie.Node, lea
 		if li == len(leaves)-1 {
 			// EC of P_round complete (Algorithm 2 lines 16-19).
 			st.trie.Link(node)
+			st.nodes++
 			st.created = append(st.created, node)
 			for _, depthEdges := range st.pending {
 				for _, de := range depthEdges {
@@ -487,6 +610,7 @@ func (m *machine) adjEnum(st *groupState, round, li int, parent *etrie.Node, lea
 			deeper, err = m.adjEnum(st, round, li+1, node, leaves, pivAdj)
 			if deeper {
 				st.trie.Link(node)
+				st.nodes++
 				produced = true
 			}
 		}
@@ -554,13 +678,13 @@ func (m *machine) recordRoundStats(st *groupState, round, alive int) {
 	prefix := int64(m.e.redPrefix[round])
 	el := int64(alive) * prefix * etrie.VertexBytes
 	et := st.trie.Bytes()
-	m.elCum += el
-	m.etCum += et
-	if el > m.elPeak {
-		m.elPeak = el
+	st.elCum += el
+	st.etCum += et
+	if el > st.elPeak {
+		st.elPeak = el
 	}
-	if et > m.etPeak {
-		m.etPeak = et
+	if et > st.etPeak {
+		st.etPeak = et
 	}
 }
 
@@ -568,13 +692,13 @@ func (m *machine) recordRoundStats(st *groupState, round, alive int) {
 func (m *machine) chargeTrie(st *groupState) error {
 	cur := st.trie.Bytes()
 	switch {
-	case cur > m.chargedTrie:
-		if err := m.e.cfg.Budget.Charge(m.id, cur-m.chargedTrie); err != nil {
+	case cur > st.chargedTrie:
+		if err := m.e.cfg.Budget.Charge(m.id, cur-st.chargedTrie); err != nil {
 			return err
 		}
-	case cur < m.chargedTrie:
-		m.e.cfg.Budget.Release(m.id, m.chargedTrie-cur)
+	case cur < st.chargedTrie:
+		m.e.cfg.Budget.Release(m.id, st.chargedTrie-cur)
 	}
-	m.chargedTrie = cur
+	st.chargedTrie = cur
 	return nil
 }

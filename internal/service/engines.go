@@ -34,6 +34,10 @@ type EngineResult struct {
 	Total   int64
 	Seconds float64
 	OOM     bool // died of the memory budget; not an error
+	// TreeNodes counts the run's successful partial matches when the
+	// engine reports them (0 otherwise); the service accumulates it
+	// into the tree_nodes_total stat.
+	TreeNodes int64
 }
 
 // EngineFunc runs one query. It must honour ctx where it can and be
@@ -92,7 +96,7 @@ func (s *Service) registryEngine(e engine.Engine) EngineFunc {
 		if err != nil {
 			return EngineResult{}, err
 		}
-		return EngineResult{Total: res.Total, Seconds: res.Seconds, OOM: res.OOM}, nil
+		return EngineResult{Total: res.Total, Seconds: res.Seconds, OOM: res.OOM, TreeNodes: res.TreeNodes}, nil
 	}
 }
 

@@ -31,6 +31,7 @@ type Result struct {
 	Canonical string        `json:"canonical,omitempty"`
 	Engine    string        `json:"engine"`
 	Total     int64         `json:"total"`
+	TreeNodes int64         `json:"tree_nodes,omitempty"`
 	Seconds   float64       `json:"seconds"`
 	CommMB    float64       `json:"comm_mb"`
 	PeakMB    float64       `json:"peak_mb,omitempty"`

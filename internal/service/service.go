@@ -147,6 +147,7 @@ type Service struct {
 	engineRuns  atomic.Int64
 	running     atomic.Int64
 	queued      atomic.Int64
+	treeNodes   atomic.Int64
 }
 
 // Open loads g into a new Service: partitions it across cfg.Machines
@@ -392,11 +393,13 @@ func (s *Service) serve(ctx context.Context, h *Handle, fn EngineFunc, key strin
 		return
 	}
 
+	s.treeNodes.Add(res.TreeNodes)
 	out := Result{
 		Pattern:   h.query.Pattern.Name,
 		Canonical: key,
 		Engine:    h.engine,
 		Total:     res.Total,
+		TreeNodes: res.TreeNodes,
 		Seconds:   res.Seconds,
 		CommMB:    float64(req.Metrics.TotalBytes()) / (1 << 20),
 		OOM:       res.OOM,
@@ -466,6 +469,11 @@ type Stats struct {
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
 
+	// TreeNodesTotal accumulates the search-tree nodes of every engine
+	// run that reported them — the service-level throughput numerator
+	// (tree-nodes/sec against UptimeSec).
+	TreeNodesTotal int64 `json:"tree_nodes_total"`
+
 	// Prepared-artifact cache (the generalization of the old RADS-only
 	// plan catalog): entries across all engines plus accounted bytes.
 	ArtifactsCached int   `json:"artifacts_cached"`
@@ -481,25 +489,26 @@ type Stats struct {
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Machines:     s.part.M,
-		Vertices:     s.part.G.NumVertices(),
-		Edges:        int64(s.part.G.NumEdges()),
-		EdgeCut:      s.edgeCut,
-		Balance:      s.balance,
-		UptimeSec:    time.Since(s.start).Seconds(),
-		Submitted:    s.submitted.Load(),
-		Completed:    s.completed.Load(),
-		Failed:       s.failed.Load(),
-		Cancelled:    s.cancelled.Load(),
-		Rejected:     s.rejected.Load(),
-		Running:      s.running.Load(),
-		Queued:       s.queued.Load(),
-		EngineRuns:   s.engineRuns.Load(),
-		CacheHits:    s.cacheHits.Load(),
-		CacheMisses:  s.cacheMisses.Load(),
-		CommBytes:    s.commBytes.Load(),
-		CommMessages: s.commMessages.Load(),
-		CommByKind:   make(map[string]int64),
+		Machines:       s.part.M,
+		Vertices:       s.part.G.NumVertices(),
+		Edges:          int64(s.part.G.NumEdges()),
+		EdgeCut:        s.edgeCut,
+		Balance:        s.balance,
+		UptimeSec:      time.Since(s.start).Seconds(),
+		Submitted:      s.submitted.Load(),
+		Completed:      s.completed.Load(),
+		Failed:         s.failed.Load(),
+		Cancelled:      s.cancelled.Load(),
+		Rejected:       s.rejected.Load(),
+		Running:        s.running.Load(),
+		Queued:         s.queued.Load(),
+		EngineRuns:     s.engineRuns.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMisses.Load(),
+		TreeNodesTotal: s.treeNodes.Load(),
+		CommBytes:      s.commBytes.Load(),
+		CommMessages:   s.commMessages.Load(),
+		CommByKind:     make(map[string]int64),
 	}
 	s.kindMu.Lock()
 	for k, v := range s.commByKind {
