@@ -29,12 +29,15 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1 table2 fig8 fig9 fig10 fig11 fig12 fig13 table3 table4 fig15 robust ablations all)")
-		machines = flag.Int("machines", 10, "number of simulated machines")
-		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
-		dataset  = flag.String("dataset", "", "dataset override for fig12/robust/ablations")
-		budgetMB = flag.Int64("budget-mb", 48, "per-machine memory budget in MiB for the comparison figures (0 = unlimited)")
-		jsonOut  = flag.String("json", "", "write a machine-readable benchmark report to this file instead of running -exp")
+		exp       = flag.String("exp", "all", "experiment id (table1 table2 fig8 fig9 fig10 fig11 fig12 fig13 table3 table4 fig15 robust ablations all)")
+		machines  = flag.Int("machines", 10, "number of simulated machines")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
+		dataset   = flag.String("dataset", "", "dataset override for fig12/robust/ablations")
+		budgetMB  = flag.Int64("budget-mb", 48, "per-machine memory budget in MiB for the comparison figures (0 = unlimited)")
+		jsonOut   = flag.String("json", "", "write a machine-readable benchmark report to this file instead of running -exp")
+		compare   = flag.String("compare", "", "diff a fresh run against this committed baseline (e.g. BENCH_PR3.json) instead of running -exp")
+		tolerance = flag.Float64("tolerance", 0.30, "with -compare: warn when a benchmark is more than this fraction slower")
+		strict    = flag.Bool("strict", false, "with -compare: exit nonzero on any regression beyond the tolerance")
 	)
 	flag.Parse()
 	if *jsonOut != "" {
@@ -44,10 +47,60 @@ func main() {
 		}
 		return
 	}
+	if *compare != "" {
+		regressed, err := runCompare(*compare, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "radsbench:", err)
+			os.Exit(1)
+		}
+		if regressed && *strict {
+			os.Exit(2)
+		}
+		return
+	}
 	if err := run(*exp, *machines, *scale, *dataset, *budgetMB<<20); err != nil {
 		fmt.Fprintln(os.Stderr, "radsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare re-runs the JSON bench with the baseline's own shape
+// (machine count, scale) and diffs ns/op against it — the perf
+// trajectory check: BENCH_PR<n>.json is committed per perf PR and the
+// next PR compares against it. It reports whether anything regressed
+// beyond the tolerance.
+func runCompare(baselinePath string, tolerance float64) (bool, error) {
+	base, err := harness.ReadBenchReportFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	fmt.Printf("baseline %s: %d micro benchmarks, %d engine runs (machines=%d scale=%g)\n",
+		baselinePath, len(base.Micro), len(base.Engines), base.Machines, base.Scale)
+	cur, err := harness.BenchJSON(base.Machines, base.Scale)
+	if err != nil {
+		return false, err
+	}
+	deltas := harness.CompareReports(base, cur, tolerance)
+	if len(deltas) == 0 {
+		return false, fmt.Errorf("no comparable benchmarks between %s and this build", baselinePath)
+	}
+	fmt.Printf("%-52s %14s %14s %8s\n", "benchmark", "base ns/op", "now ns/op", "ratio")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regress {
+			mark = "  <-- REGRESSION"
+		}
+		fmt.Printf("%-52s %14.0f %14.0f %7.2fx%s\n", d.Name, d.BaseNs, d.CurNs, d.Ratio, mark)
+	}
+	reg := harness.Regressions(deltas)
+	if len(reg) > 0 {
+		fmt.Printf("\nWARNING: %d benchmark(s) more than %.0f%% slower than %s\n",
+			len(reg), tolerance*100, baselinePath)
+		fmt.Println("(wall-clock benches are noisy; rerun on a quiet machine before reverting anything)")
+		return true, nil
+	}
+	fmt.Printf("\nOK: nothing slower than baseline by more than %.0f%%\n", tolerance*100)
+	return false, nil
 }
 
 // runJSON writes the machine-readable benchmark report.

@@ -8,6 +8,17 @@
 //	radserve -dataset DBLP -machines 10 -addr :8080
 //	radserve -graph edges.txt -max-concurrent 8 -budget-mb 64
 //
+// With -snapshot DIR the service warm-starts: if DIR holds a snapshot
+// it is loaded (no re-partitioning, border distances and prepared
+// artifacts restored); otherwise the graph is partitioned once and
+// persisted there for next time. -snapshot-only writes the snapshot
+// and exits — the handoff point to radsworker processes.
+//
+// With -cluster spec.json radserve becomes the ingress of a
+// multi-process deployment: RADS queries are dispatched to remote
+// radsworker daemons over TCP (the baselines keep running in-process
+// against the coordinator's copy of the partition).
+//
 // Endpoints:
 //
 //	GET  /query?pattern=triangle[&engine=RADS][&nocache=1]
@@ -32,84 +43,211 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"rads/internal/cluster"
 	"rads/internal/engine"
 	"rads/internal/graph"
 	"rads/internal/harness"
+	"rads/internal/partition"
 	"rads/internal/pattern"
+	"rads/internal/rads"
 	"rads/internal/service"
+	"rads/internal/snapshot"
 )
 
+// options collects the radserve flag surface.
+type options struct {
+	addr          string
+	dataset       string
+	graphFile     string
+	scale         float64
+	machines      int
+	maxConcurrent int
+	maxQueued     int
+	budgetMB      int64
+	cacheEntries  int
+	defEngine     string
+
+	snapDir  string
+	snapOnly bool
+	specPath string
+	waitFor  time.Duration
+}
+
 func main() {
-	var (
-		addr          = flag.String("addr", ":8080", "listen address")
-		dataset       = flag.String("dataset", "DBLP", "built-in dataset analog (RoadNet DBLP LiveJournal UK2002)")
-		graphFile     = flag.String("graph", "", "edge-list file overriding -dataset")
-		scale         = flag.Float64("scale", 1.0, "dataset scale factor")
-		machines      = flag.Int("machines", 8, "number of simulated machines")
-		maxConcurrent = flag.Int("max-concurrent", 4, "queries running at once")
-		maxQueued     = flag.Int("max-queued", 64, "queries waiting before 503")
-		budgetMB      = flag.Int64("budget-mb", 0, "per-machine memory budget per query in MiB (0 = unlimited)")
-		cacheEntries  = flag.Int("cache", 256, "result-cache capacity (negative disables)")
-		defEngine     = flag.String("engine", "RADS", "default engine ("+strings.Join(engine.Names(), " ")+")")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.dataset, "dataset", "DBLP", "built-in dataset analog (RoadNet DBLP LiveJournal UK2002)")
+	flag.StringVar(&o.graphFile, "graph", "", "edge-list file overriding -dataset")
+	flag.Float64Var(&o.scale, "scale", 1.0, "dataset scale factor")
+	flag.IntVar(&o.machines, "machines", 8, "number of simulated machines")
+	flag.IntVar(&o.maxConcurrent, "max-concurrent", 4, "queries running at once")
+	flag.IntVar(&o.maxQueued, "max-queued", 64, "queries waiting before 503")
+	flag.Int64Var(&o.budgetMB, "budget-mb", 0, "per-machine memory budget per query in MiB (0 = unlimited)")
+	flag.IntVar(&o.cacheEntries, "cache", 256, "result-cache capacity (negative disables)")
+	flag.StringVar(&o.defEngine, "engine", "RADS", "default engine ("+strings.Join(engine.Names(), " ")+")")
+	flag.StringVar(&o.snapDir, "snapshot", "", "snapshot directory: load the partition from it if present, write it otherwise")
+	flag.BoolVar(&o.snapOnly, "snapshot-only", false, "write the snapshot and exit (requires -snapshot)")
+	flag.StringVar(&o.specPath, "cluster", "", "cluster spec JSON: dispatch RADS queries to remote radsworker daemons")
+	flag.DurationVar(&o.waitFor, "wait-workers", 30*time.Second, "how long to wait for cluster workers at startup")
 	flag.Parse()
-	if err := run(*addr, *dataset, *graphFile, *scale, *machines, *maxConcurrent, *maxQueued, *budgetMB, *cacheEntries, *defEngine); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "radserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataset, graphFile string, scale float64, machines, maxConcurrent, maxQueued int, budgetMB int64, cacheEntries int, defEngine string) error {
-	// Fail on a bad default engine now, before the expensive graph
-	// load and partitioning, not on the first query.
-	if _, ok := engine.Lookup(defEngine); !ok {
-		return fmt.Errorf("unknown default engine %q (registered: %s)", defEngine, strings.Join(engine.Names(), " "))
+// loadPartition resolves the resident partition: from the snapshot
+// when one exists, from the dataset/graph flags otherwise (persisting
+// the result when -snapshot names a directory).
+func loadPartition(o options) (*partition.Partition, error) {
+	if o.snapDir != "" && snapshot.Exists(o.snapDir) {
+		start := time.Now()
+		part, man, err := snapshot.OpenPartition(o.snapDir)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("snapshot %s: %d machines, %d vertices, %d edges (source %s), loaded in %v — no re-partitioning",
+			o.snapDir, man.Machines, man.Vertices, man.Edges, man.Source, time.Since(start).Round(time.Millisecond))
+		return part, nil
 	}
 	var g *graph.Graph
 	var source string
-	if graphFile != "" {
-		f, err := os.Open(graphFile)
+	if o.graphFile != "" {
+		f, err := os.Open(o.graphFile)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		g, err = graph.ReadEdgeList(f)
+		var err2 error
+		g, err2 = graph.ReadEdgeList(f)
 		f.Close()
-		if err != nil {
-			return err
+		if err2 != nil {
+			return nil, err2
 		}
-		source = graphFile
+		source = o.graphFile
 	} else {
-		d, err := harness.DatasetByName(dataset)
+		d, err := harness.DatasetByName(o.dataset)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		g = d.Build(scale)
-		source = dataset
+		g = d.Build(o.scale)
+		source = o.dataset
 	}
 	log.Printf("graph %s: %d vertices, %d edges", source, g.NumVertices(), g.NumEdges())
+	part := partition.KWay(g, o.machines, service.DefaultPartitionSeed)
+	if o.snapDir != "" {
+		start := time.Now()
+		if err := snapshot.Write(o.snapDir, part, source); err != nil {
+			return nil, err
+		}
+		log.Printf("snapshot written to %s (%d shards) in %v", o.snapDir, part.M, time.Since(start).Round(time.Millisecond))
+	}
+	return part, nil
+}
+
+func run(o options) error {
+	// Fail on a bad default engine now, before the expensive graph
+	// load and partitioning, not on the first query.
+	if _, ok := engine.Lookup(o.defEngine); !ok {
+		return fmt.Errorf("unknown default engine %q (registered: %s)", o.defEngine, strings.Join(engine.Names(), " "))
+	}
+	if o.snapOnly && o.snapDir == "" {
+		return fmt.Errorf("-snapshot-only needs -snapshot DIR")
+	}
+	part, err := loadPartition(o)
+	if err != nil {
+		return err
+	}
+	if o.snapOnly {
+		return nil
+	}
 
 	start := time.Now()
-	svc, err := service.Open(g, service.Config{
-		Machines:         machines,
-		MaxConcurrent:    maxConcurrent,
-		MaxQueued:        maxQueued,
-		QueryBudgetBytes: budgetMB << 20,
-		CacheEntries:     cacheEntries,
-		DefaultEngine:    defEngine,
+	svc, err := service.OpenPartitioned(part, service.Config{
+		MaxConcurrent:    o.maxConcurrent,
+		MaxQueued:        o.maxQueued,
+		QueryBudgetBytes: o.budgetMB << 20,
+		CacheEntries:     o.cacheEntries,
+		DefaultEngine:    o.defEngine,
 	})
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
-	part := svc.Partition()
+
+	// Warm-start the prepared-artifact cache from the snapshot.
+	if o.snapDir != "" {
+		arts, err := snapshot.ReadArtifacts(o.snapDir)
+		if err != nil {
+			log.Printf("artifact restore skipped: %v", err)
+		} else {
+			for key, art := range arts {
+				svc.Artifacts().Seed(key, art)
+			}
+			if len(arts) > 0 {
+				log.Printf("restored %d prepared artifacts", len(arts))
+			}
+		}
+	}
+
+	// Cluster mode: front remote radsworker daemons for RADS queries.
+	if o.specPath != "" {
+		spec, err := cluster.LoadSpec(o.specPath)
+		if err != nil {
+			return err
+		}
+		if spec.M() != part.M {
+			return fmt.Errorf("cluster spec has %d machines, partition %d", spec.M(), part.M)
+		}
+		client := cluster.NewTCPClient(spec, nil)
+		defer client.Close()
+		ce := rads.NewClusterEngine(client, part.M)
+		log.Printf("cluster mode: waiting up to %v for %d workers", o.waitFor, spec.M())
+		if err := ce.WaitReady(part, o.waitFor); err != nil {
+			return err
+		}
+		if err := svc.RegisterEngineObject(ce); err != nil {
+			return err
+		}
+		log.Printf("cluster mode: RADS queries dispatch to remote workers (%s)", strings.Join(spec.Machines, " "))
+	}
+
 	log.Printf("resident: %d machines, edge cut %d, balance %.3f, warmed in %v",
 		part.M, part.EdgeCut(), part.Balance(), time.Since(start).Round(time.Millisecond))
-	log.Printf("listening on %s", addr)
-	return http.ListenAndServe(addr, newMux(svc))
+
+	srv := &http.Server{Addr: o.addr, Handler: newMux(svc)}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", o.addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
+	// Persist prepared artifacts so the next boot answers warm.
+	if o.snapDir != "" {
+		if arts := svc.Artifacts().Export(); len(arts) > 0 {
+			if err := snapshot.WriteArtifacts(o.snapDir, arts); err != nil {
+				log.Printf("artifact persist failed: %v", err)
+			} else {
+				log.Printf("persisted %d prepared artifacts", len(arts))
+			}
+		}
+	}
+	return nil
 }
 
 // newMux wires the HTTP surface over a service; split out so tests can

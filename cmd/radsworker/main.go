@@ -1,0 +1,142 @@
+// Command radsworker hosts RADS machine daemons in their own OS
+// process: the worker half of a multi-process deployment. Each worker
+// loads its machines' shards from a snapshot directory (written by
+// `radserve -snapshot DIR` or `-snapshot-only`), listens for daemon
+// and control requests on its address from the cluster spec, and dials
+// fellow workers directly for verifyE/fetchV/checkR/shareR — the
+// coordinator (cluster-mode radserve) only ever sends control
+// messages.
+//
+// Usage:
+//
+//	radsworker -spec spec.json -snapshot snap/ -machines 0,1
+//	radsworker -spec spec.json -snapshot snap/ -listen 127.0.0.1:9102
+//
+// With -machines the listen address defaults to those machines' spec
+// entry; with -listen the hosted machines are everything the spec
+// places at that address. The worker runs until SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"rads/internal/cluster"
+	"rads/internal/rads"
+	"rads/internal/snapshot"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "cluster spec JSON (machine id -> host:port)")
+		snapDir  = flag.String("snapshot", "", "snapshot directory with the machines' shards")
+		machines = flag.String("machines", "", "comma-separated machine ids to host (default: all at -listen)")
+		listen   = flag.String("listen", "", "listen address (default: the hosted machines' spec entry)")
+		workers  = flag.Int("workers", 0, "enumeration workers per hosted machine (0 = GOMAXPROCS/hosted)")
+	)
+	flag.Parse()
+	if err := run(*specPath, *snapDir, *machines, *listen, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "radsworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specPath, snapDir, machineList, listen string, workers int) error {
+	if specPath == "" || snapDir == "" {
+		return fmt.Errorf("need -spec and -snapshot")
+	}
+	spec, err := cluster.LoadSpec(specPath)
+	if err != nil {
+		return err
+	}
+	ids, err := resolveMachines(spec, machineList, &listen)
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) / len(ids)
+		if workers < 1 {
+			workers = 1
+		}
+	}
+
+	srv, err := cluster.NewTCPServer(listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	var clients []*cluster.TCPClient
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for _, id := range ids {
+		part, man, err := snapshot.OpenShard(snapDir, id)
+		if err != nil {
+			return err
+		}
+		if man.Machines != spec.M() {
+			return fmt.Errorf("snapshot has %d machines, spec %d", man.Machines, spec.M())
+		}
+		metrics := cluster.NewMetrics(spec.M())
+		client := cluster.NewTCPClient(spec, metrics)
+		clients = append(clients, client)
+		d := rads.NewMachine(id, part, client, rads.MachineOptions{
+			AvgDegree: man.AvgDegree,
+			Workers:   workers,
+			Metrics:   metrics,
+		})
+		srv.Register(id, d.Handle)
+		log.Printf("machine %d: shard loaded (%d owned vertices of %d, %d border-distance entries warm)",
+			id, len(part.Vertices(id)), man.Vertices, len(part.BorderDistances(id)))
+	}
+	log.Printf("hosting machines %v on %s (%d workers each)", ids, srv.Addr(), workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("received %v, shutting down", s)
+	return nil
+}
+
+// resolveMachines determines which machine ids this worker hosts and
+// on what address, from -machines and/or -listen.
+func resolveMachines(spec cluster.ClusterSpec, machineList string, listen *string) ([]int, error) {
+	var ids []int
+	if machineList != "" {
+		for _, tok := range strings.Split(machineList, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || id < 0 || id >= spec.M() {
+				return nil, fmt.Errorf("bad machine id %q (spec has %d machines)", tok, spec.M())
+			}
+			ids = append(ids, id)
+		}
+		if *listen == "" {
+			*listen = spec.Addr(ids[0])
+		}
+		for _, id := range ids {
+			if spec.Addr(id) != *listen {
+				return nil, fmt.Errorf("machine %d lives at %s in the spec, but this worker listens on %s",
+					id, spec.Addr(id), *listen)
+			}
+		}
+		return ids, nil
+	}
+	if *listen == "" {
+		return nil, fmt.Errorf("need -machines or -listen to know what to host")
+	}
+	ids = spec.MachinesAt(*listen)
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("the spec places no machines at %s", *listen)
+	}
+	return ids, nil
+}

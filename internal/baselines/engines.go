@@ -13,7 +13,9 @@
 package baselines
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
 
@@ -56,7 +58,7 @@ func (b *baselineEngine) Run(ctx context.Context, req engine.Request) (engine.Re
 	if err := engine.ValidateRequest(b, req); err != nil {
 		return engine.Result{}, err
 	}
-	cfg := common.Config{Context: ctx, Metrics: req.Metrics, Budget: req.Budget}
+	cfg := common.Config{Context: ctx, Metrics: req.Metrics, Budget: req.Budget, Transport: req.Transport}
 	res, err := b.run(req, cfg)
 	if err != nil {
 		if errors.Is(err, cluster.ErrOutOfMemory) {
@@ -81,6 +83,21 @@ type indexArtifact struct {
 }
 
 func (a indexArtifact) SizeBytes() int64 { return a.idx.Bytes() }
+
+// GobEncode/GobDecode make the artifact snapshot-codable (the index
+// itself is plain exported data; only this wrapper is private).
+func (a indexArtifact) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(a.idx); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (a *indexArtifact) GobDecode(b []byte) error {
+	a.idx = &crystal.Index{}
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(a.idx)
+}
 
 func crystalPrepare(part *partition.Partition, p *pattern.Pattern) (engine.Artifact, error) {
 	return indexArtifact{idx: crystal.BuildIndex(part.G, crystal.IndexSizeFor(p))}, nil
@@ -111,6 +128,7 @@ func (crystalEngine) ArtifactKey(p *pattern.Pattern) string {
 }
 
 func init() {
+	gob.Register(indexArtifact{})
 	cancellable := engine.Capabilities{Cancellation: true}
 	engine.Register(&baselineEngine{name: "PSgL", caps: cancellable, run: adapt(psgl.Run)})
 	engine.Register(&baselineEngine{name: "TwinTwig", caps: cancellable, run: adapt(twintwig.Run)})

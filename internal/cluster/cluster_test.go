@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -207,8 +208,8 @@ func TestTCPTransportHandlerError(t *testing.T) {
 	tr.Register(1, func(from int, req Message) (Message, error) {
 		return nil, errors.New("remote boom")
 	})
-	if _, err := tr.Call(0, 1, &CheckRRequest{}); err == nil || err.Error() != "remote boom" {
-		t.Errorf("err = %v, want remote boom", err)
+	if _, err := tr.Call(0, 1, &CheckRRequest{}); !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "remote boom") {
+		t.Errorf("err = %v, want ErrRemote wrapping remote boom", err)
 	}
 }
 

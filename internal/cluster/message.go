@@ -117,6 +117,29 @@ type ShuffleResponse struct{}
 
 func (r *ShuffleResponse) ByteSize() int { return 1 }
 
+// PingRequest is a liveness probe: a coordinator sends it to verify a
+// machine's daemon is hosted and reachable before routing queries.
+type PingRequest struct{}
+
+func (r *PingRequest) ByteSize() int { return 1 }
+
+// PingResponse reports the responding machine's identity and a
+// fingerprint of the partition it hosts, so a misrouted address book —
+// or workers booted from a different snapshot than the coordinator —
+// is caught at startup rather than surfacing as silently inconsistent
+// query results.
+type PingResponse struct {
+	Machine int
+	// Vertices is the global vertex count of the hosted partition.
+	Vertices int
+	// PartitionHash fingerprints the ownership vector (see
+	// rads.PartitionFingerprint); equal hashes mean the same
+	// vertex-to-machine assignment.
+	PartitionHash uint64
+}
+
+func (r *PingResponse) ByteSize() int { return 3 * intWire }
+
 // Handler serves requests arriving at one machine — the paper's daemon
 // thread. Implementations must be safe for concurrent calls.
 type Handler func(from int, req Message) (Message, error)

@@ -28,7 +28,10 @@ func NewMetrics(m int) *Metrics {
 	}
 }
 
-// Account records one request/response exchange from -> to.
+// Account records one request/response exchange from -> to. Either
+// endpoint may be outside [0, m) — the Coordinator, or a machine id
+// beyond what this metrics object was sized for — in which case only
+// the in-range side and the per-kind totals are recorded.
 func (mt *Metrics) Account(from, to int, req, resp Message, kind string) {
 	if mt == nil {
 		return
@@ -37,15 +40,40 @@ func (mt *Metrics) Account(from, to int, req, resp Message, kind string) {
 	if resp != nil {
 		pb = int64(resp.ByteSize())
 	}
-	mt.sent[from].Add(rb)
-	mt.received[to].Add(rb)
-	if resp != nil {
-		mt.sent[to].Add(pb)
-		mt.received[from].Add(pb)
+	if mt.in(from) {
+		mt.sent[from].Add(rb)
+		mt.messages[from].Add(1)
 	}
-	mt.messages[from].Add(1)
+	if mt.in(to) {
+		mt.received[to].Add(rb)
+	}
+	if resp != nil {
+		if mt.in(to) {
+			mt.sent[to].Add(pb)
+		}
+		if mt.in(from) {
+			mt.received[from].Add(pb)
+		}
+	}
 	mt.mu.Lock()
 	mt.perKind[kind] += rb + pb
+	mt.mu.Unlock()
+}
+
+func (mt *Metrics) in(id int) bool { return id >= 0 && id < mt.m }
+
+// AccountRemote folds communication that happened in another process —
+// a worker's per-machine totals reported back to the coordinator —
+// into machine id's counters, so cluster-mode totals mean the same as
+// in-process ones.
+func (mt *Metrics) AccountRemote(id int, bytes, messages int64) {
+	if mt == nil || !mt.in(id) {
+		return
+	}
+	mt.sent[id].Add(bytes)
+	mt.messages[id].Add(messages)
+	mt.mu.Lock()
+	mt.perKind["remote"] += bytes
 	mt.mu.Unlock()
 }
 
@@ -84,6 +112,12 @@ func (mt *Metrics) ByKind() map[string]int64 {
 	return out
 }
 
+// Kinder lets message types defined outside this package name
+// themselves for per-kind accounting (e.g. the rads control plane).
+type Kinder interface {
+	MessageKind() string
+}
+
 // Kind names a message for per-kind accounting.
 func Kind(m Message) string {
 	switch m.(type) {
@@ -97,7 +131,11 @@ func Kind(m Message) string {
 		return "shareR"
 	case *ShuffleRequest:
 		return "shuffle"
-	default:
-		return "other"
+	case *PingRequest:
+		return "ping"
 	}
+	if k, ok := m.(Kinder); ok {
+		return k.MessageKind()
+	}
+	return "other"
 }

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Coordinator is the sender id used by a cluster's ingress process for
+// control traffic (run requests, pings). It is not a machine: no
+// listener serves it and per-machine metrics skip it.
+const Coordinator = -1
+
+// ClusterSpec is the address book of a multi-process cluster:
+// Machines[i] is the host:port of the process hosting machine i's
+// daemon. Several machines may share one address (one worker process
+// hosting multiple machines); the TCP server routes by the envelope's
+// destination id.
+//
+// The JSON form is what `radserve -cluster spec.json` and
+// `radsworker -spec spec.json` read:
+//
+//	{"machines": ["127.0.0.1:9101", "127.0.0.1:9101", "127.0.0.1:9102"]}
+type ClusterSpec struct {
+	Machines []string `json:"machines"`
+}
+
+// M returns the number of machines in the spec.
+func (s ClusterSpec) M() int { return len(s.Machines) }
+
+// Addr returns the address hosting machine id.
+func (s ClusterSpec) Addr(id int) string { return s.Machines[id] }
+
+// Validate checks the spec is usable: at least one machine, no empty
+// addresses.
+func (s ClusterSpec) Validate() error {
+	if len(s.Machines) == 0 {
+		return fmt.Errorf("cluster: spec has no machines")
+	}
+	for i, a := range s.Machines {
+		if a == "" {
+			return fmt.Errorf("cluster: spec machine %d has an empty address", i)
+		}
+	}
+	return nil
+}
+
+// MachinesAt returns the ids of the machines the spec places at addr,
+// ascending — the set a worker process listening there must host.
+func (s ClusterSpec) MachinesAt(addr string) []int {
+	var ids []int
+	for i, a := range s.Machines {
+		if a == addr {
+			ids = append(ids, i)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// LoadSpec reads a ClusterSpec from a JSON file.
+func LoadSpec(path string) (ClusterSpec, error) {
+	var s ClusterSpec
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, fmt.Errorf("cluster: read spec: %w", err)
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("cluster: parse spec %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// WriteSpec writes the spec as JSON to path.
+func (s ClusterSpec) WriteSpec(path string) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rads/internal/graph"
+)
+
+func TestClusterSpecJSONRoundTrip(t *testing.T) {
+	spec := ClusterSpec{Machines: []string{"h1:1", "h1:1", "h2:2"}}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := spec.WriteSpec(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M() != 3 || got.Addr(2) != "h2:2" {
+		t.Fatalf("loaded %+v", got)
+	}
+	if ids := got.MachinesAt("h1:1"); len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("MachinesAt = %v", ids)
+	}
+	if ids := got.MachinesAt("h9:9"); ids != nil {
+		t.Fatalf("MachinesAt unknown addr = %v", ids)
+	}
+}
+
+func TestLoadSpecRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"machines":[]}`), 0o644)
+	if _, err := LoadSpec(empty); err == nil {
+		t.Error("empty spec accepted")
+	}
+	hole := filepath.Join(dir, "hole.json")
+	os.WriteFile(hole, []byte(`{"machines":["a:1",""]}`), 0o644)
+	if _, err := LoadSpec(hole); err == nil {
+		t.Error("spec with empty address accepted")
+	}
+	if _, err := LoadSpec(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing spec accepted")
+	}
+}
+
+// TestServerClientSplit runs the dial side and the listen side as the
+// separate pieces a multi-process deployment uses: two servers (each
+// hosting two machines, as two worker processes would), one client per
+// "process", joined only by the address book.
+func TestServerClientSplit(t *testing.T) {
+	srvA, err := NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+	srvB, err := NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	spec := ClusterSpec{Machines: []string{srvA.Addr(), srvA.Addr(), srvB.Addr(), srvB.Addr()}}
+	for _, id := range []int{0, 1} {
+		srvA.Register(id, echoHandler(t))
+	}
+	for _, id := range []int{2, 3} {
+		srvB.Register(id, echoHandler(t))
+	}
+
+	client := NewTCPClient(spec, NewMetrics(4))
+	defer client.Close()
+	// Cross-server and same-server calls, including routing two machine
+	// ids through one listener.
+	for _, to := range []int{0, 1, 2, 3} {
+		from := (to + 1) % 4
+		resp, err := client.Call(from, to, &CheckRRequest{})
+		if err != nil {
+			t.Fatalf("call %d->%d: %v", from, to, err)
+		}
+		if got := resp.(*CheckRResponse).Unprocessed; got != from {
+			t.Errorf("machine %d saw from=%d, want %d", to, got, from)
+		}
+	}
+	// The coordinator id is valid as a sender and skips per-machine
+	// metrics without panicking.
+	if _, err := client.Call(Coordinator, 0, &CheckRRequest{}); err != nil {
+		t.Fatalf("coordinator call: %v", err)
+	}
+	// Unregistered machine on a live server fails back to the caller.
+	srvC, err := NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvC.Close()
+	lone := NewTCPClient(ClusterSpec{Machines: []string{srvC.Addr()}}, nil)
+	defer lone.Close()
+	if _, err := lone.Call(Coordinator, 0, &CheckRRequest{}); err == nil || !strings.Contains(err.Error(), "not hosted") {
+		t.Errorf("call to unhosted machine: %v", err)
+	}
+}
+
+// TestClientRedialsAfterConnFailure is the poisoned-connection
+// regression test: a call that dies mid-stream (server gone) must drop
+// the pooled connection so the next call redials — before the fix the
+// dead conn stayed pooled and every later call on the pair failed.
+func TestClientRedialsAfterConnFailure(t *testing.T) {
+	srv, err := NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	srv.Register(0, echoHandler(t))
+
+	client := NewTCPClient(ClusterSpec{Machines: []string{addr}}, nil)
+	defer client.Close()
+	if _, err := client.Call(1, 0, &CheckRRequest{}); err != nil {
+		t.Fatalf("warm-up call: %v", err)
+	}
+
+	// Kill the server: the pooled conn is now poison.
+	srv.Close()
+	if _, err := client.Call(1, 0, &CheckRRequest{}); err == nil {
+		t.Fatal("call against a dead server succeeded")
+	}
+
+	// Bring a server back on the same address; the next call must
+	// redial rather than reuse the dead conn.
+	srv2, err := NewTCPServer(addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	srv2.Register(0, echoHandler(t))
+	resp, err := client.Call(1, 0, &FetchVRequest{Vertices: []graph.VertexID{5}})
+	if err != nil {
+		t.Fatalf("call after server restart: %v", err)
+	}
+	if fv := resp.(*FetchVResponse); len(fv.Adj) != 1 || fv.Adj[0][0] != 6 {
+		t.Errorf("response after redial = %+v", fv)
+	}
+}

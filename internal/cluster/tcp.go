@@ -20,10 +20,16 @@ func init() {
 	gob.Register(&ShareRResponse{})
 	gob.Register(&ShuffleRequest{})
 	gob.Register(&ShuffleResponse{})
+	gob.Register(&PingRequest{})
+	gob.Register(&PingResponse{})
 }
 
+// tcpEnvelope frames one request on the wire. To routes within a
+// server hosting several machines, so one listener can front a whole
+// worker process.
 type tcpEnvelope struct {
 	From int
+	To   int
 	Req  Message
 }
 
@@ -32,74 +38,91 @@ type tcpReply struct {
 	Err  string
 }
 
-// TCPTransport runs one TCP listener per machine on the loopback
-// interface and ships gob-encoded messages between them. It proves the
-// protocol is fully serializable and provides the substrate for
-// multi-process deployments; the harness uses LocalTransport for speed.
-type TCPTransport struct {
-	mu        sync.RWMutex
-	handlers  map[int]Handler
-	listeners []net.Listener
-	addrs     []string
-	metrics   *Metrics
+// ErrRemote marks an error produced by the remote handler itself: the
+// request was delivered and answered, so the failure is application-
+// level, not connectivity. Callers that retry transient transport
+// failures (startup pings) must NOT retry these — a misrouted address
+// book answers instantly and forever.
+var ErrRemote = errors.New("remote error")
 
-	connMu sync.Mutex
-	conns  map[connKey]*tcpConn
+// TCPServer is the listen side of the TCP substrate: one listener that
+// serves daemon requests for every machine Registered on it. A worker
+// process runs one TCPServer for all machines it hosts; the all-in-one
+// TCPTransport runs one per machine to mirror the historical layout.
+type TCPServer struct {
+	mu       sync.RWMutex
+	handlers map[int]Handler
 
-	wg     sync.WaitGroup
-	closed bool
+	ln net.Listener
+	wg sync.WaitGroup
+
+	acceptedMu sync.Mutex
+	accepted   map[net.Conn]struct{}
+	closing    bool
 }
 
-type connKey struct{ from, to int }
-
-type tcpConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
-}
-
-// NewTCPTransport starts m loopback listeners, one per machine.
-func NewTCPTransport(m int, metrics *Metrics) (*TCPTransport, error) {
-	t := &TCPTransport{
+// NewTCPServer starts a server listening on addr (host:port; port 0
+// picks a free port — read it back with Addr).
+func NewTCPServer(addr string) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{
 		handlers: make(map[int]Handler),
-		metrics:  metrics,
-		conns:    make(map[connKey]*tcpConn),
+		ln:       ln,
+		accepted: make(map[net.Conn]struct{}),
 	}
-	for i := 0; i < m; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Close()
-			return nil, fmt.Errorf("cluster: listen for machine %d: %w", i, err)
-		}
-		t.listeners = append(t.listeners, ln)
-		t.addrs = append(t.addrs, ln.Addr().String())
-		t.wg.Add(1)
-		go t.serve(i, ln)
-	}
-	return t, nil
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
 }
 
-// Addr returns the listen address of machine id (useful in examples).
-func (t *TCPTransport) Addr(id int) string { return t.addrs[id] }
-
-// Register installs the daemon handler for machine id.
-func (t *TCPTransport) Register(id int, h Handler) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.handlers[id] = h
+// track registers an accepted connection for shutdown; it reports
+// false when the server is already closing (the caller must drop the
+// connection instead of serving it).
+func (s *TCPServer) track(c net.Conn) bool {
+	s.acceptedMu.Lock()
+	defer s.acceptedMu.Unlock()
+	if s.closing {
+		return false
+	}
+	s.accepted[c] = struct{}{}
+	return true
 }
 
-func (t *TCPTransport) serve(id int, ln net.Listener) {
-	defer t.wg.Done()
+func (s *TCPServer) untrack(c net.Conn) {
+	s.acceptedMu.Lock()
+	delete(s.accepted, c)
+	s.acceptedMu.Unlock()
+}
+
+// Addr returns the server's actual listen address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Register installs the daemon handler for machine id. Requests for
+// unregistered ids fail back to the caller.
+func (s *TCPServer) Register(id int, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[id] = h
+}
+
+func (s *TCPServer) serve() {
+	defer s.wg.Done()
 	for {
-		conn, err := ln.Accept()
+		conn, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
-		t.wg.Add(1)
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
 		go func() {
-			defer t.wg.Done()
+			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer conn.Close()
 			dec := gob.NewDecoder(conn)
 			enc := gob.NewEncoder(conn)
@@ -108,12 +131,12 @@ func (t *TCPTransport) serve(id int, ln net.Listener) {
 				if err := dec.Decode(&env); err != nil {
 					return
 				}
-				t.mu.RLock()
-				h, ok := t.handlers[id]
-				t.mu.RUnlock()
+				s.mu.RLock()
+				h, ok := s.handlers[env.To]
+				s.mu.RUnlock()
 				var reply tcpReply
 				if !ok {
-					reply.Err = fmt.Sprintf("machine %d has no handler", id)
+					reply.Err = fmt.Sprintf("machine %d is not hosted here", env.To)
 				} else if resp, err := h(env.From, env.Req); err != nil {
 					reply.Err = err.Error()
 				} else {
@@ -127,11 +150,71 @@ func (t *TCPTransport) serve(id int, ln net.Listener) {
 	}
 }
 
-// Call ships the request over TCP and waits for the reply, reusing one
-// persistent connection per (from, to) pair.
-func (t *TCPTransport) Call(from, to int, req Message) (Message, error) {
+// Close stops the listener, severs accepted connections, and waits
+// for the connection goroutines to drain.
+func (s *TCPServer) Close() error {
+	err := s.ln.Close()
+	s.acceptedMu.Lock()
+	s.closing = true
+	for c := range s.accepted {
+		c.Close()
+	}
+	s.acceptedMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// TCPClient is the dial side: it resolves destination machines through
+// a ClusterSpec and ships gob-encoded requests over one persistent
+// connection per (from, to) pair. A connection that fails mid-call is
+// dropped from the pool so the next call redials instead of inheriting
+// a poisoned gob stream.
+type TCPClient struct {
+	spec    ClusterSpec
+	metrics *Metrics
+
+	connMu sync.Mutex
+	conns  map[connKey]*connFuture
+	closed bool
+}
+
+type connKey struct{ from, to int }
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// connFuture is a pool slot that may still be dialing: the pool lock
+// is never held across net.Dial, so one unreachable peer cannot stall
+// calls to healthy machines. The first caller for a key dials; others
+// wait on ready.
+type connFuture struct {
+	ready chan struct{}
+	conn  *tcpConn
+	err   error
+}
+
+// NewTCPClient builds a client over the address book. metrics may be
+// nil to skip accounting.
+func NewTCPClient(spec ClusterSpec, metrics *Metrics) *TCPClient {
+	return &TCPClient{spec: spec, metrics: metrics, conns: make(map[connKey]*connFuture)}
+}
+
+// Register is a no-op: a pure client hosts no machines. It satisfies
+// Transport so coordinator-side code can hold a TCPClient where an
+// in-process transport would otherwise go.
+func (t *TCPClient) Register(int, Handler) {}
+
+// Call ships the request over TCP and waits for the reply.
+func (t *TCPClient) Call(from, to int, req Message) (Message, error) {
 	if from == to {
 		return nil, fmt.Errorf("cluster: machine %d sent itself a %s request", from, Kind(req))
+	}
+	if to < 0 || to >= t.spec.M() {
+		return nil, fmt.Errorf("cluster: no machine %d in a %d-machine spec", to, t.spec.M())
 	}
 	conn, err := t.conn(from, to)
 	if err != nil {
@@ -139,51 +222,147 @@ func (t *TCPTransport) Call(from, to int, req Message) (Message, error) {
 	}
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
-	if err := conn.enc.Encode(&tcpEnvelope{From: from, Req: req}); err != nil {
+	if err := conn.enc.Encode(&tcpEnvelope{From: from, To: to, Req: req}); err != nil {
+		t.drop(connKey{from, to}, conn)
 		return nil, fmt.Errorf("cluster: send to %d: %w", to, err)
 	}
 	var reply tcpReply
 	if err := conn.dec.Decode(&reply); err != nil {
+		t.drop(connKey{from, to}, conn)
 		return nil, fmt.Errorf("cluster: receive from %d: %w", to, err)
 	}
 	if reply.Err != "" {
-		return nil, errors.New(reply.Err)
+		return nil, fmt.Errorf("%w: %s", ErrRemote, reply.Err)
 	}
 	t.metrics.Account(from, to, req, reply.Resp, Kind(req))
 	return reply.Resp, nil
 }
 
-func (t *TCPTransport) conn(from, to int) (*tcpConn, error) {
+func (t *TCPClient) conn(from, to int) (*tcpConn, error) {
 	key := connKey{from, to}
 	t.connMu.Lock()
-	defer t.connMu.Unlock()
 	if t.closed {
+		t.connMu.Unlock()
 		return nil, errors.New("cluster: transport closed")
 	}
-	if c, ok := t.conns[key]; ok {
-		return c, nil
+	if f, ok := t.conns[key]; ok {
+		t.connMu.Unlock()
+		<-f.ready
+		return f.conn, f.err
 	}
-	c, err := net.Dial("tcp", t.addrs[to])
+	f := &connFuture{ready: make(chan struct{})}
+	t.conns[key] = f
+	t.connMu.Unlock()
+
+	c, err := net.Dial("tcp", t.spec.Addr(to))
 	if err != nil {
-		return nil, fmt.Errorf("cluster: dial machine %d: %w", to, err)
+		f.err = fmt.Errorf("cluster: dial machine %d at %s: %w", to, t.spec.Addr(to), err)
+		close(f.ready)
+		t.remove(key, f)
+		return nil, f.err
 	}
-	tc := &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
-	t.conns[key] = tc
-	return tc, nil
+	f.conn = &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	close(f.ready)
+	// Closed while we dialed: hand the conn back dead instead of
+	// leaking it past Close.
+	t.connMu.Lock()
+	if t.closed {
+		c.Close()
+	}
+	t.connMu.Unlock()
+	return f.conn, nil
 }
 
-// Close shuts the listeners and all pooled connections.
-func (t *TCPTransport) Close() error {
+// remove deletes a pool slot if it still holds f.
+func (t *TCPClient) remove(key connKey, f *connFuture) {
 	t.connMu.Lock()
-	t.closed = true
-	for _, c := range t.conns {
-		c.c.Close()
+	if cur, ok := t.conns[key]; ok && cur == f {
+		delete(t.conns, key)
 	}
-	t.conns = make(map[connKey]*tcpConn)
 	t.connMu.Unlock()
-	for _, ln := range t.listeners {
-		ln.Close()
+}
+
+// drop closes a failed connection and removes it from the pool — a
+// half-consumed gob stream can never carry another call, and keeping
+// it pooled would poison every later call on this (from, to) pair.
+func (t *TCPClient) drop(key connKey, c *tcpConn) {
+	c.c.Close()
+	t.connMu.Lock()
+	if f, ok := t.conns[key]; ok && f.conn == c {
+		delete(t.conns, key)
 	}
-	t.wg.Wait()
+	t.connMu.Unlock()
+}
+
+// Close closes all pooled connections; further calls fail.
+func (t *TCPClient) Close() error {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	t.closed = true
+	for _, f := range t.conns {
+		select {
+		case <-f.ready:
+			if f.conn != nil {
+				f.conn.c.Close()
+			}
+		default:
+			// Still dialing; the dialer sees closed and shuts the conn.
+		}
+	}
+	t.conns = make(map[connKey]*connFuture)
+	return nil
+}
+
+// TCPTransport is the all-in-one form used by tests and examples: one
+// loopback TCPServer per machine plus a TCPClient joined by the
+// derived ClusterSpec, in a single process. It proves the protocol is
+// fully serializable; multi-process deployments build the same pieces
+// separately (radsworker hosts servers, radserve dials them).
+type TCPTransport struct {
+	servers []*TCPServer
+	client  *TCPClient
+	spec    ClusterSpec
+}
+
+// NewTCPTransport starts m loopback listeners, one per machine.
+func NewTCPTransport(m int, metrics *Metrics) (*TCPTransport, error) {
+	t := &TCPTransport{}
+	for i := 0; i < m; i++ {
+		srv, err := NewTCPServer("127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
+		}
+		t.servers = append(t.servers, srv)
+		t.spec.Machines = append(t.spec.Machines, srv.Addr())
+	}
+	t.client = NewTCPClient(t.spec, metrics)
+	return t, nil
+}
+
+// Spec returns the address book of the in-process cluster.
+func (t *TCPTransport) Spec() ClusterSpec { return t.spec }
+
+// Addr returns the listen address of machine id (useful in examples).
+func (t *TCPTransport) Addr(id int) string { return t.spec.Machines[id] }
+
+// Register installs the daemon handler for machine id.
+func (t *TCPTransport) Register(id int, h Handler) {
+	t.servers[id].Register(id, h)
+}
+
+// Call ships the request over TCP and waits for the reply.
+func (t *TCPTransport) Call(from, to int, req Message) (Message, error) {
+	return t.client.Call(from, to, req)
+}
+
+// Close shuts the client pool and every listener.
+func (t *TCPTransport) Close() error {
+	if t.client != nil {
+		t.client.Close()
+	}
+	for _, s := range t.servers {
+		s.Close()
+	}
 	return nil
 }

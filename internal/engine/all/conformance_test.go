@@ -8,6 +8,7 @@ package all_test
 import (
 	"context"
 	"errors"
+	"os"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -29,6 +30,25 @@ func conformancePart(t *testing.T) *partition.Partition {
 	t.Helper()
 	g := gen.Community(6, 20, 0.3, 99)
 	return partition.KWay(g, 4, 7)
+}
+
+// conformanceTransport returns the transport every engine in a test
+// runs over: nil (each engine's in-process default) normally, or a
+// fresh TCP transport when RADS_CONFORMANCE_TRANSPORT=tcp — the CI job
+// that proves every engine, not just RADS, is transport-agnostic and
+// fully serializable. One transport serves a whole test; engines
+// re-register their per-machine handlers on it each run.
+func conformanceTransport(t *testing.T, m int) cluster.Transport {
+	t.Helper()
+	if os.Getenv("RADS_CONFORMANCE_TRANSPORT") != "tcp" {
+		return nil
+	}
+	tr, err := cluster.NewTCPTransport(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
 }
 
 func conformanceQueries() []*pattern.Pattern {
@@ -60,6 +80,7 @@ func TestAllEnginesRegistered(t *testing.T) {
 // all counts against the single-machine oracle.
 func TestConformanceCounts(t *testing.T) {
 	part := conformancePart(t)
+	tr := conformanceTransport(t, part.M)
 	for _, q := range conformanceQueries() {
 		want := localenum.Count(part.G, q, localenum.Options{})
 		if want == 0 {
@@ -71,7 +92,7 @@ func TestConformanceCounts(t *testing.T) {
 				t.Fatalf("Lookup(%q) failed", name)
 			}
 			// Cold run: no artifact, the engine prepares internally.
-			res, err := e.Run(context.Background(), engine.Request{Part: part, Pattern: q})
+			res, err := e.Run(context.Background(), engine.Request{Part: part, Pattern: q, Transport: tr})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", name, q.Name, err)
 			}
@@ -95,7 +116,7 @@ func TestConformanceCounts(t *testing.T) {
 			if art.SizeBytes() <= 0 {
 				t.Errorf("%s/%s: artifact reports %d bytes", name, q.Name, art.SizeBytes())
 			}
-			res2, err := e.Run(context.Background(), engine.Request{Part: part, Pattern: q, Artifact: art})
+			res2, err := e.Run(context.Background(), engine.Request{Part: part, Pattern: q, Artifact: art, Transport: tr})
 			if err != nil {
 				t.Fatalf("%s/%s (prepared): %v", name, q.Name, err)
 			}
@@ -115,13 +136,14 @@ func TestConformanceCounts(t *testing.T) {
 // counters, the shared group queue, and the locked adjacency cache).
 func TestConformanceWorkerParallelism(t *testing.T) {
 	part := conformancePart(t)
+	tr := conformanceTransport(t, part.M)
 	for _, q := range conformanceQueries() {
 		want := localenum.Count(part.G, q, localenum.Options{})
 		for _, name := range engine.Names() {
 			e, _ := engine.Lookup(name)
 			for rep := 0; rep < 2; rep++ {
 				res, err := e.Run(context.Background(), engine.Request{
-					Part: part, Pattern: q, Workers: 4,
+					Part: part, Pattern: q, Workers: 4, Transport: tr,
 				})
 				if err != nil {
 					t.Fatalf("%s/%s workers=4 rep=%d: %v", name, q.Name, rep, err)
@@ -140,6 +162,7 @@ func TestConformanceWorkerParallelism(t *testing.T) {
 // delivery is serialized, so nothing may be lost or duplicated.
 func TestConformanceWorkerStreaming(t *testing.T) {
 	part := conformancePart(t)
+	tr := conformanceTransport(t, part.M)
 	q := pattern.Triangle()
 	want := localenum.Count(part.G, q, localenum.Options{})
 	for _, name := range engine.Names() {
@@ -149,7 +172,7 @@ func TestConformanceWorkerStreaming(t *testing.T) {
 		}
 		var streamed atomic.Int64
 		res, err := e.Run(context.Background(), engine.Request{
-			Part: part, Pattern: q, Workers: 4,
+			Part: part, Pattern: q, Workers: 4, Transport: tr,
 			OnEmbedding: func(machine int, f []graph.VertexID) { streamed.Add(1) },
 		})
 		if err != nil {
@@ -167,6 +190,7 @@ func TestConformanceWorkerStreaming(t *testing.T) {
 // context is already dead.
 func TestConformanceCancellation(t *testing.T) {
 	part := conformancePart(t)
+	tr := conformanceTransport(t, part.M)
 	q := pattern.Triangle()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -177,7 +201,7 @@ func TestConformanceCancellation(t *testing.T) {
 			continue
 		}
 		start := time.Now()
-		_, err := e.Run(ctx, engine.Request{Part: part, Pattern: q})
+		_, err := e.Run(ctx, engine.Request{Part: part, Pattern: q, Transport: tr})
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: err = %v, want context.Canceled", name, err)
 		}
@@ -194,12 +218,13 @@ func TestConformanceCancellation(t *testing.T) {
 // the paper's whole point) must instead report the correct count.
 func TestConformanceOOM(t *testing.T) {
 	part := conformancePart(t)
+	tr := conformanceTransport(t, part.M)
 	q := pattern.New("square", 4, 0, 1, 1, 2, 2, 3, 3, 0)
 	want := localenum.Count(part.G, q, localenum.Options{})
 	for _, name := range engine.Names() {
 		e, _ := engine.Lookup(name)
 		budget := cluster.NewMemBudget(part.M, 2<<10)
-		res, err := e.Run(context.Background(), engine.Request{Part: part, Pattern: q, Budget: budget})
+		res, err := e.Run(context.Background(), engine.Request{Part: part, Pattern: q, Budget: budget, Transport: tr})
 		if err != nil {
 			t.Errorf("%s: budget death leaked as error: %v", name, err)
 			continue
@@ -215,12 +240,13 @@ func TestConformanceOOM(t *testing.T) {
 // engines without it must reject OnEmbedding with ErrUnsupported.
 func TestConformanceStreaming(t *testing.T) {
 	part := conformancePart(t)
+	tr := conformanceTransport(t, part.M)
 	q := pattern.Triangle()
 	want := localenum.Count(part.G, q, localenum.Options{})
 	for _, name := range engine.Names() {
 		e, _ := engine.Lookup(name)
 		var streamed atomic.Int64
-		req := engine.Request{Part: part, Pattern: q, OnEmbedding: func(machine int, f []graph.VertexID) {
+		req := engine.Request{Part: part, Pattern: q, Transport: tr, OnEmbedding: func(machine int, f []graph.VertexID) {
 			streamed.Add(1)
 		}}
 		res, err := e.Run(context.Background(), req)

@@ -104,6 +104,12 @@ type Request struct {
 	// Metrics receives communication accounting; nil allocates one
 	// internally (the caller then cannot read the totals).
 	Metrics *cluster.Metrics
+	// Transport overrides the in-process transport the engine would
+	// otherwise build for its simulated machines — the conformance
+	// suite runs every engine over cluster.TCPTransport through this.
+	// Nil keeps the engine's default. Engines must Register their
+	// per-machine handlers on it for each run.
+	Transport cluster.Transport
 	// Budget is the per-machine memory budget; nil is unlimited.
 	// Exceeding it surfaces as Result.OOM, not an error.
 	Budget *cluster.MemBudget

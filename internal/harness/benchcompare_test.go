@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareReportsFlagsRegressions(t *testing.T) {
+	base := &BenchReport{
+		Micro: []MicroResult{
+			{Name: "merge", NsOp: 100},
+			{Name: "gallop", NsOp: 50},
+			{Name: "gone", NsOp: 10},
+		},
+		Engines: []EngineBenchResult{
+			{Engine: "RADS", Dataset: "DBLP", Pattern: "q1", NsOp: 1000},
+			{Engine: "SEED", Dataset: "DBLP", Pattern: "q1", NsOp: 2000},
+		},
+	}
+	cur := &BenchReport{
+		Micro: []MicroResult{
+			{Name: "merge", NsOp: 90},  // faster: fine
+			{Name: "gallop", NsOp: 80}, // 1.6x: regression
+			{Name: "fresh", NsOp: 1},   // no baseline: skipped
+		},
+		Engines: []EngineBenchResult{
+			{Engine: "RADS", Dataset: "DBLP", Pattern: "q1", NsOp: 1100}, // 1.1x: within tolerance
+			{Engine: "SEED", Dataset: "DBLP", Pattern: "q1", NsOp: 9000}, // 4.5x: regression
+		},
+	}
+	deltas := CompareReports(base, cur, 0.30)
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4 (one per matched benchmark): %+v", len(deltas), deltas)
+	}
+	// Sorted worst first.
+	if deltas[0].Name != "SEED/DBLP/q1" || !deltas[0].Regress {
+		t.Errorf("worst delta = %+v, want SEED regression first", deltas[0])
+	}
+	reg := Regressions(deltas)
+	if len(reg) != 2 {
+		t.Fatalf("got %d regressions, want 2: %+v", len(reg), reg)
+	}
+	names := make([]string, len(reg))
+	for i, d := range reg {
+		names[i] = d.Name
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "micro:gallop") || !strings.Contains(joined, "SEED/DBLP/q1") {
+		t.Errorf("regressions = %v", names)
+	}
+	for _, d := range deltas {
+		if d.Name == "micro:fresh" || d.Name == "micro:gone" {
+			t.Errorf("unmatched benchmark %s compared", d.Name)
+		}
+	}
+}

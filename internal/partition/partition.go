@@ -107,6 +107,20 @@ func (p *Partition) BorderDistances(t int) map[graph.VertexID]int32 {
 	return d
 }
 
+// InstallBorderDistances seeds machine t's memoized border-distance
+// map without running the BFS — snapshot warm starts restore the
+// distances persisted at partition time so a worker (or a restarted
+// service) never re-derives them. The caller hands over ownership of
+// d, which is treated as read-only from here on.
+func (p *Partition) InstallBorderDistances(t int, d map[graph.VertexID]int32) {
+	p.bdMu.Lock()
+	if p.bd == nil {
+		p.bd = make([]map[graph.VertexID]int32, p.M)
+	}
+	p.bd[t] = d
+	p.bdMu.Unlock()
+}
+
 func (p *Partition) computeBorderDistances(t int) map[graph.VertexID]int32 {
 	// BFS restricted to edges whose both endpoints are owned by t:
 	// the paper defines BD over the partition G_t, whose vertex set is

@@ -1,0 +1,24 @@
+package pattern
+
+// Gob support: patterns cross process boundaries in two places — the
+// rads control plane ships the query (inside the execution plan) to
+// remote worker daemons, and the snapshot codec persists prepared
+// artifacts that embed patterns. The adjacency representation is
+// private, so the wire form is the canonical textual format of
+// Format/Parse, which round-trips name, vertex count and edge set
+// exactly.
+
+// GobEncode encodes the pattern in its textual form.
+func (p *Pattern) GobEncode() ([]byte, error) {
+	return []byte(Format(p)), nil
+}
+
+// GobDecode parses the textual form written by GobEncode.
+func (p *Pattern) GobDecode(b []byte) error {
+	q, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*p = *q
+	return nil
+}

@@ -1,0 +1,237 @@
+package rads
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rads/internal/cluster"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+)
+
+// Machine is one hostable RADS machine: the per-machine daemon of
+// Section 3.1 extracted from the monolithic in-process engine so it
+// can live in its own OS process. It owns the machine's slice of the
+// partitioned graph (a full partition in-process, a snapshot-loaded
+// shard in a radsworker), serves the data-plane daemon requests
+// (verifyE, fetchV, checkR, shareR) at all times, and executes
+// coordinator-driven queries: a RunQueryRequest makes it build the
+// per-query engine state, run SM-E + region groups + work stealing
+// exactly as the in-process machine would, and reply with its result
+// slice.
+//
+// Handle is safe for concurrent calls (the transport serves it from
+// many connections at once); queries themselves are serialized — the
+// daemon protocol has no query ids, so the coordinator runs one
+// cluster query at a time.
+type Machine struct {
+	id   int
+	part *partition.Partition
+	tr   cluster.Transport
+
+	avgDeg  float64
+	workers int
+	metrics *cluster.Metrics
+
+	runMu sync.Mutex              // serializes runQuery
+	cur   atomic.Pointer[machine] // active query's per-machine state, nil when idle
+}
+
+// MachineOptions tunes a hosted machine.
+type MachineOptions struct {
+	// AvgDegree is the global data graph's average degree, recorded at
+	// snapshot time; a shard cannot derive it and the Section 6 memory
+	// estimator needs it. 0 falls back to the hosted graph's own figure.
+	AvgDegree float64
+	// Workers is the default enumeration worker count for queries that
+	// do not request one (0 = GOMAXPROCS, the whole process; hosts
+	// running several machines should divide accordingly).
+	Workers int
+	// Metrics, when set, is the metrics object the machine's outgoing
+	// transport accounts into; per-query deltas are reported back to
+	// the coordinator in each RunQueryResponse.
+	Metrics *cluster.Metrics
+}
+
+// NewMachine hosts machine id of part, calling other machines through
+// tr. The partition may be shard-backed: only machine id's adjacency
+// lists need to be complete.
+func NewMachine(id int, part *partition.Partition, tr cluster.Transport, opts MachineOptions) *Machine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Machine{
+		id:      id,
+		part:    part,
+		tr:      tr,
+		avgDeg:  opts.AvgDegree,
+		workers: w,
+		metrics: opts.Metrics,
+	}
+}
+
+// ID returns the hosted machine id.
+func (d *Machine) ID() int { return d.id }
+
+// Handle is the daemon entry point: register it on the transport (or
+// TCP server) under the machine's id.
+func (d *Machine) Handle(from int, req cluster.Message) (cluster.Message, error) {
+	switch r := req.(type) {
+	case *cluster.PingRequest:
+		return &cluster.PingResponse{
+			Machine:       d.id,
+			Vertices:      d.part.G.NumVertices(),
+			PartitionHash: PartitionFingerprint(d.part),
+		}, nil
+	case *cluster.VerifyERequest:
+		return serveVerifyE(d.part, d.id, r)
+	case *cluster.FetchVRequest:
+		return serveFetchV(d.part, d.id, r)
+	case *cluster.CheckRRequest:
+		// Between queries there is nothing to give away; thieves from a
+		// query this machine has already finished see an empty queue.
+		if m := d.cur.Load(); m != nil {
+			return &cluster.CheckRResponse{Unprocessed: m.queue.Len()}, nil
+		}
+		return &cluster.CheckRResponse{}, nil
+	case *cluster.ShareRRequest:
+		if m := d.cur.Load(); m != nil {
+			if g, ok := m.queue.Pop(); ok {
+				return &cluster.ShareRResponse{OK: true, Group: g}, nil
+			}
+		}
+		return &cluster.ShareRResponse{OK: false}, nil
+	case *RunQueryRequest:
+		return d.runQuery(r)
+	default:
+		return nil, fmt.Errorf("machine %d: unknown request %T", d.id, req)
+	}
+}
+
+// runQuery executes one coordinator-shipped query on this machine's
+// shard and reports the machine's result slice.
+func (d *Machine) runQuery(r *RunQueryRequest) (cluster.Message, error) {
+	d.runMu.Lock()
+	defer d.runMu.Unlock()
+
+	p, err := pattern.Parse(r.Pattern)
+	if err != nil {
+		return nil, fmt.Errorf("machine %d: bad pattern: %w", d.id, err)
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = d.workers
+	}
+	cfg := Config{
+		Plan:                     r.Plan,
+		Transport:                d.tr,
+		Workers:                  workers,
+		GroupMemTarget:           r.GroupMemTarget,
+		DisableSME:               r.DisableSME,
+		DisableEndVertexCounting: r.DisableEndVertexCounting,
+		DisableCache:             r.DisableCache,
+		RandomGrouping:           r.RandomGrouping,
+		DisableLoadBalancing:     r.DisableLoadBalancing,
+	}
+	if r.BudgetBytes > 0 {
+		cfg.Budget = cluster.NewMemBudget(d.part.M, r.BudgetBytes)
+	}
+	eng, err := newEngine(d.part, p, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("machine %d: %w", d.id, err)
+	}
+	if d.avgDeg > 0 {
+		eng.avgDeg = d.avgDeg
+	}
+	m := newMachine(eng, d.id)
+
+	commBytes0, commMsgs0 := int64(0), int64(0)
+	if d.metrics != nil {
+		commBytes0, commMsgs0 = d.metrics.TotalBytes(), d.metrics.TotalMessages()
+	}
+
+	d.cur.Store(m)
+	runErr := m.run()
+	d.cur.Store(nil)
+
+	resp := &RunQueryResponse{
+		SME:          m.smeCount,
+		Distributed:  m.distCount,
+		SMENodes:     m.smeNodes,
+		DistNodes:    m.distNodes,
+		ElapsedNs:    int64(m.elapsed),
+		ELBytesCum:   m.elCum,
+		ETBytesCum:   m.etCum,
+		ELBytesPeak:  m.elPeak,
+		ETBytesPeak:  m.etPeak,
+		GroupsFormed: m.groupsFormed,
+		GroupsStolen: m.groupsStolen,
+		Rounds:       eng.pl.NumRounds(),
+		Workers:      eng.workers(),
+		DeferredEnds: len(eng.deferred),
+	}
+	if cfg.Budget != nil {
+		resp.PeakMemBytes = cfg.Budget.MaxPeak()
+	}
+	if d.metrics != nil {
+		resp.CommBytes = d.metrics.TotalBytes() - commBytes0
+		resp.CommMessages = d.metrics.TotalMessages() - commMsgs0
+	}
+	if runErr != nil {
+		if errors.Is(runErr, cluster.ErrOutOfMemory) {
+			resp.OOM = true
+			return resp, nil
+		}
+		return nil, runErr
+	}
+	return resp, nil
+}
+
+// PartitionFingerprint hashes a partition's identity — machine count
+// and the full ownership vector (FNV-1a) — so a coordinator and its
+// workers can cheaply prove they were built from the same snapshot.
+// Shards fingerprint identically to the full partition: the ownership
+// vector is global on both.
+func PartitionFingerprint(part *partition.Partition) uint64 {
+	h := fnv.New64a()
+	binary.Write(h, binary.LittleEndian, int64(part.M))
+	binary.Write(h, binary.LittleEndian, part.Owner)
+	return h.Sum64()
+}
+
+// Ping verifies that machine `to` of the cluster behind tr is hosted
+// and correctly routed, retrying transport failures until the absolute
+// deadline — workers may still be starting when the coordinator comes
+// up. Application-level replies (cluster.ErrRemote, e.g. "machine N is
+// not hosted here" from a misrouted spec) fail immediately: the worker
+// is up and will answer the same way forever. It returns the machine's
+// ping response for consistency checks.
+func Ping(tr cluster.Transport, to int, until time.Time) (*cluster.PingResponse, error) {
+	for {
+		resp, err := tr.Call(cluster.Coordinator, to, &cluster.PingRequest{})
+		if err == nil {
+			pr, ok := resp.(*cluster.PingResponse)
+			if !ok {
+				return nil, fmt.Errorf("rads: ping %d: unexpected response %T", to, resp)
+			}
+			if pr.Machine != to {
+				return nil, fmt.Errorf("rads: address book says machine %d, process there hosts %d", to, pr.Machine)
+			}
+			return pr, nil
+		}
+		if errors.Is(err, cluster.ErrRemote) {
+			return nil, fmt.Errorf("rads: ping %d: %w", to, err)
+		}
+		if !time.Now().Before(until) {
+			return nil, fmt.Errorf("rads: machine %d unreachable: %w", to, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

@@ -142,6 +142,7 @@ func Run(part *partition.Partition, p *pattern.Pattern, cfg Config) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	eng.spawnMachines()
 	return eng.run()
 }
 
@@ -156,6 +157,13 @@ type engine struct {
 	metrics *cluster.Metrics
 	tr      cluster.Transport
 	ownTr   bool // we created the transport and must close it
+
+	// avgDeg is the data graph's global average degree, feeding the
+	// Section 6 memory estimator. It defaults to g.AvgDegree(), but a
+	// remote machine daemon hosting only its shard overrides it with
+	// the figure recorded at snapshot time — a shard graph's own
+	// average says nothing about the whole graph.
+	avgDeg float64
 
 	// End-vertex counting (the paper's Exp-3 "end vertices"
 	// optimization): degree-1 non-pivot query vertices are removed
@@ -210,18 +218,27 @@ func newEngine(part *partition.Partition, p *pattern.Pattern, cfg Config) (*engi
 		cons:    p.SymmetryBreaking(),
 		metrics: metrics,
 		tr:      cfg.Transport,
+		avgDeg:  part.G.AvgDegree(),
 	}
 	if eng.tr == nil {
 		eng.tr = cluster.NewLocalTransport(metrics)
 		eng.ownTr = true
 	}
 	eng.precompute()
-	for t := 0; t < part.M; t++ {
-		m := newMachine(eng, t)
-		eng.machines = append(eng.machines, m)
-		eng.tr.Register(t, m.handle)
-	}
 	return eng, nil
+}
+
+// spawnMachines creates one machine per partition slot and registers
+// its daemon handler on the transport — the in-process deployment,
+// where this engine hosts the whole cluster. A multi-process
+// deployment skips this: each worker daemon builds its own engine from
+// the shipped query and hosts exactly one machine (see Machine).
+func (e *engine) spawnMachines() {
+	for t := 0; t < e.part.M; t++ {
+		m := newMachine(e, t)
+		e.machines = append(e.machines, m)
+		e.tr.Register(t, m.handle)
+	}
 }
 
 // precompute derives the reduced matching order (end-vertex deferral),

@@ -2,6 +2,7 @@ package rads
 
 import (
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"time"
@@ -12,6 +13,12 @@ import (
 	"rads/internal/pattern"
 	"rads/internal/plan"
 )
+
+func init() {
+	// PlanArtifact crosses process boundaries in the snapshot artifact
+	// codec; the concrete type must be known to gob.
+	gob.Register(PlanArtifact{})
+}
 
 // PlanArtifact is RADS's prepared artifact: a Section 4 execution plan
 // for one exact labeled pattern. Plans are *not* isomorphism-invariant
@@ -67,6 +74,7 @@ func (e apiEngine) Run(ctx context.Context, req eng.Request) (eng.Result, error)
 		Budget:      req.Budget,
 		OnEmbedding: req.OnEmbedding,
 		Workers:     req.Workers,
+		Transport:   req.Transport,
 	}
 	if req.Artifact != nil {
 		pa, ok := req.Artifact.(PlanArtifact)

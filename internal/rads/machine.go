@@ -10,6 +10,7 @@ import (
 	"rads/internal/cluster"
 	"rads/internal/graph"
 	"rads/internal/localenum"
+	"rads/internal/partition"
 )
 
 // machine is one worker of the simulated cluster: it owns a partition,
@@ -81,28 +82,43 @@ func (m *machine) emit(f []graph.VertexID) {
 	m.embMu.Unlock()
 }
 
+// serveVerifyE answers daemon functionality (1) — edge-existence bits
+// for edges the machine can see — from a partition, which may be the
+// full graph (in-process) or a shard (remote daemon): either way the
+// owned endpoint's adjacency list is complete, which is all HasEdge
+// needs.
+func serveVerifyE(part *partition.Partition, id int, r *cluster.VerifyERequest) (cluster.Message, error) {
+	exists := make([]bool, len(r.Edges))
+	for i, e := range r.Edges {
+		if part.Owner[e.U] != int32(id) && part.Owner[e.V] != int32(id) {
+			return nil, fmt.Errorf("machine %d asked to verify foreign edge %v", id, e)
+		}
+		exists[i] = part.G.HasEdge(e.U, e.V)
+	}
+	return &cluster.VerifyEResponse{Exists: exists}, nil
+}
+
+// serveFetchV answers daemon functionality (2) — adjacency lists of
+// owned vertices.
+func serveFetchV(part *partition.Partition, id int, r *cluster.FetchVRequest) (cluster.Message, error) {
+	adj := make([][]graph.VertexID, len(r.Vertices))
+	for i, v := range r.Vertices {
+		if part.Owner[v] != int32(id) {
+			return nil, fmt.Errorf("machine %d asked to fetch foreign vertex %d", id, v)
+		}
+		adj[i] = part.G.Adj(v)
+	}
+	return &cluster.FetchVResponse{Adj: adj}, nil
+}
+
 // handle is the daemon thread: it serves the four request kinds of
 // Section 3.1 concurrently with the machine's own enumeration.
 func (m *machine) handle(from int, req cluster.Message) (cluster.Message, error) {
 	switch r := req.(type) {
 	case *cluster.VerifyERequest:
-		exists := make([]bool, len(r.Edges))
-		for i, e := range r.Edges {
-			if m.e.part.Owner[e.U] != int32(m.id) && m.e.part.Owner[e.V] != int32(m.id) {
-				return nil, fmt.Errorf("machine %d asked to verify foreign edge %v", m.id, e)
-			}
-			exists[i] = m.e.g.HasEdge(e.U, e.V)
-		}
-		return &cluster.VerifyEResponse{Exists: exists}, nil
+		return serveVerifyE(m.e.part, m.id, r)
 	case *cluster.FetchVRequest:
-		adj := make([][]graph.VertexID, len(r.Vertices))
-		for i, v := range r.Vertices {
-			if m.e.part.Owner[v] != int32(m.id) {
-				return nil, fmt.Errorf("machine %d asked to fetch foreign vertex %d", m.id, v)
-			}
-			adj[i] = m.e.g.Adj(v)
-		}
-		return &cluster.FetchVResponse{Adj: adj}, nil
+		return serveFetchV(m.e.part, m.id, r)
 	case *cluster.CheckRRequest:
 		return &cluster.CheckRResponse{Unprocessed: m.queue.Len()}, nil
 	case *cluster.ShareRRequest:
@@ -178,7 +194,7 @@ func (m *machine) run() (err error) {
 
 	// Work stealing (Section 3.1 checkR/shareR).
 	if !m.e.cfg.DisableLoadBalancing {
-		if err := m.stealLoop(); err != nil {
+		if err := m.stealPhase(); err != nil {
 			return err
 		}
 	}
@@ -305,7 +321,7 @@ func (m *machine) estBytes(v graph.VertexID) int64 {
 		avg = 256 // no SM-E sample (DisableSME or empty C1): coarse default
 	}
 	est := avg * float64(trieNodeBytes)
-	if ad := m.e.g.AvgDegree(); ad > 0 && v >= 0 {
+	if ad := m.e.avgDeg; ad > 0 && v >= 0 {
 		skew := float64(m.e.g.Degree(v)) / ad
 		if skew > 1 {
 			// Results grow super-linearly in the pivot degree; square
@@ -329,43 +345,95 @@ func (m *machine) groupSizeFor(target int64) int {
 	return n
 }
 
-// stealLoop implements the load balancer: broadcast checkR, steal one
-// group from the machine with the most unprocessed groups, repeat
-// until every machine reports zero.
-func (m *machine) stealLoop() error {
-	for {
-		if err := m.e.checkCtx(); err != nil {
-			return err
+// stealPhase implements the load balancer (Section 3.1 checkR/shareR):
+// one stealer goroutine polls the cluster — broadcast checkR, steal a
+// group from the most loaded machine via shareR, repeat until every
+// machine reports zero — and hands each stolen group to the machine's
+// worker pool, so a thief chews stolen groups with the same
+// intra-machine parallelism as its own instead of sequentially on the
+// machine thread. The stealer stays one group ahead of the pool
+// (unbuffered hand-off), so an idle machine never hoards groups a
+// second thief could take.
+func (m *machine) stealPhase() error {
+	workers := m.e.workers()
+	stolen := make(chan []graph.VertexID)
+	var wg sync.WaitGroup
+	var aborted atomic.Bool
+	errs := make([]error, workers+1)
+
+	wg.Add(1)
+	go func() { // stealer
+		defer wg.Done()
+		defer close(stolen)
+		fail := func(err error) {
+			errs[workers] = err
+			aborted.Store(true)
 		}
-		bestMachine, bestLoad := -1, 0
-		for t := 0; t < m.e.part.M; t++ {
-			if t == m.id {
-				continue
+		for !aborted.Load() {
+			if err := m.e.checkCtx(); err != nil {
+				fail(err)
+				return
 			}
-			resp, err := m.e.tr.Call(m.id, t, &cluster.CheckRRequest{})
+			bestMachine, bestLoad := -1, 0
+			for t := 0; t < m.e.part.M; t++ {
+				if t == m.id {
+					continue
+				}
+				resp, err := m.e.tr.Call(m.id, t, &cluster.CheckRRequest{})
+				if err != nil {
+					fail(fmt.Errorf("checkR to %d: %w", t, err))
+					return
+				}
+				if n := resp.(*cluster.CheckRResponse).Unprocessed; n > bestLoad {
+					bestMachine, bestLoad = t, n
+				}
+			}
+			if bestMachine < 0 {
+				return // cluster drained
+			}
+			resp, err := m.e.tr.Call(m.id, bestMachine, &cluster.ShareRRequest{})
 			if err != nil {
-				return fmt.Errorf("checkR to %d: %w", t, err)
+				fail(fmt.Errorf("shareR to %d: %w", bestMachine, err))
+				return
 			}
-			if n := resp.(*cluster.CheckRResponse).Unprocessed; n > bestLoad {
-				bestMachine, bestLoad = t, n
+			sr := resp.(*cluster.ShareRResponse)
+			if !sr.OK {
+				continue // lost the race; re-check
 			}
+			m.groupsStolen++
+			stolen <- sr.Group
 		}
-		if bestMachine < 0 {
-			return nil // cluster drained
-		}
-		resp, err := m.e.tr.Call(m.id, bestMachine, &cluster.ShareRRequest{})
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Keep draining after an abort so the stealer never blocks
+			// on a hand-off no worker will take.
+			for g := range stolen {
+				if aborted.Load() {
+					continue
+				}
+				if err := m.e.checkCtx(); err != nil {
+					errs[w] = err
+					aborted.Store(true)
+					continue
+				}
+				if err := m.processGroup(g); err != nil {
+					errs[w] = err
+					aborted.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("shareR to %d: %w", bestMachine, err)
-		}
-		sr := resp.(*cluster.ShareRResponse)
-		if !sr.OK {
-			continue // lost the race; re-check
-		}
-		m.groupsStolen++
-		if err := m.processGroup(sr.Group); err != nil {
 			return err
 		}
 	}
+	return nil
 }
 
 // --- region grouping (Section 6, Algorithm 3) ---

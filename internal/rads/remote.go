@@ -1,0 +1,179 @@
+package rads
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rads/internal/cluster"
+	eng "rads/internal/engine"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+	"rads/internal/plan"
+)
+
+// ClusterEngine is the coordinator side of a multi-process RADS
+// deployment: it implements engine.Engine by computing the execution
+// plan once, fanning a RunQueryRequest out to every remote machine
+// daemon over the transport (normally a cluster.TCPClient built from
+// the address book), and aggregating the per-machine responses into
+// one result. The machines talk to each other directly — verifyE,
+// fetchV, checkR and shareR never pass through the coordinator; only
+// the control plane does.
+//
+// The daemon protocol carries no query ids, so the coordinator
+// serializes cluster queries: concurrent Run calls queue on an
+// internal mutex (the resident service's admission queue sits in
+// front of this anyway).
+//
+// Capabilities are narrower than the in-process engine's: embeddings
+// are counted on the workers and never cross the wire, so streaming
+// is not offered, and a dispatched superstep cannot be recalled, so
+// cancellation is only honoured between queries.
+type ClusterEngine struct {
+	tr cluster.Transport
+	m  int
+
+	mu sync.Mutex
+}
+
+// NewClusterEngine fronts m remote machines reachable through tr.
+func NewClusterEngine(tr cluster.Transport, m int) *ClusterEngine {
+	return &ClusterEngine{tr: tr, m: m}
+}
+
+// Name reports "RADS": this is the RADS engine, hosted remotely. A
+// cluster-mode service registers it over the in-process one.
+func (c *ClusterEngine) Name() string { return "RADS" }
+
+// Capabilities declares what the remote deployment supports.
+func (c *ClusterEngine) Capabilities() eng.Capabilities {
+	return eng.Capabilities{
+		Streaming:     false,
+		Cancellation:  false,
+		ArtifactScope: eng.ArtifactPerPattern,
+	}
+}
+
+// Prepare computes the execution plan, exactly like the in-process
+// engine — the artifact is shipped to the workers with each query.
+func (c *ClusterEngine) Prepare(_ *partition.Partition, p *pattern.Pattern) (eng.Artifact, error) {
+	pl, err := plan.Compute(p)
+	if err != nil {
+		return nil, fmt.Errorf("rads: planning %s: %w", p.Name, err)
+	}
+	return PlanArtifact{Plan: pl}, nil
+}
+
+// WaitReady pings every machine until it responds or the shared
+// deadline passes (one budget for the whole cluster, not per machine)
+// — called once at ingress startup so a booting cluster fails loudly
+// instead of on the first query. When part is non-nil, every worker's
+// partition fingerprint must match it: a worker booted from a
+// different snapshot than the coordinator would otherwise serve
+// silently inconsistent counts.
+func (c *ClusterEngine) WaitReady(part *partition.Partition, deadline time.Duration) error {
+	until := time.Now().Add(deadline)
+	var wantHash uint64
+	if part != nil {
+		wantHash = PartitionFingerprint(part)
+	}
+	for t := 0; t < c.m; t++ {
+		pr, err := Ping(c.tr, t, until)
+		if err != nil {
+			return err
+		}
+		if part == nil {
+			continue
+		}
+		if pr.Vertices != part.G.NumVertices() || pr.PartitionHash != wantHash {
+			return fmt.Errorf("rads: machine %d hosts a different partition (%d vertices, hash %x) than the coordinator (%d vertices, hash %x) — workers and ingress must load the same snapshot",
+				t, pr.Vertices, pr.PartitionHash, part.G.NumVertices(), wantHash)
+		}
+	}
+	return nil
+}
+
+// Run executes one query across the remote machines.
+func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, error) {
+	if err := eng.ValidateRequest(c, req); err != nil {
+		return eng.Result{}, err
+	}
+	var pl *plan.Plan
+	if req.Artifact != nil {
+		pa, ok := req.Artifact.(PlanArtifact)
+		if !ok {
+			return eng.Result{}, fmt.Errorf("%w: engine RADS cannot use artifact %T", eng.ErrUnsupported, req.Artifact)
+		}
+		pl = pa.Plan
+	} else {
+		var err error
+		pl, err = plan.Compute(req.Pattern)
+		if err != nil {
+			return eng.Result{}, fmt.Errorf("rads: planning %s: %w", req.Pattern.Name, err)
+		}
+	}
+	wire := &RunQueryRequest{
+		Pattern:     pattern.Format(req.Pattern),
+		Plan:        pl,
+		Workers:     req.Workers,
+		BudgetBytes: req.Budget.Limit(),
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return eng.Result{}, err
+	}
+
+	start := time.Now()
+	resps := make([]*RunQueryResponse, c.m)
+	errs := make([]error, c.m)
+	var wg sync.WaitGroup
+	for t := 0; t < c.m; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			resp, err := c.tr.Call(cluster.Coordinator, t, wire)
+			if err != nil {
+				errs[t] = fmt.Errorf("rads: machine %d: %w", t, err)
+				return
+			}
+			r, ok := resp.(*RunQueryResponse)
+			if !ok {
+				errs[t] = fmt.Errorf("rads: machine %d replied %T", t, resp)
+				return
+			}
+			// Account the control-plane exchange itself, so /stats shows
+			// runQuery traffic alongside the folded worker data plane.
+			req.Metrics.Account(cluster.Coordinator, t, wire, r, wire.MessageKind())
+			resps[t] = r
+		}(t)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return eng.Result{}, err
+		}
+	}
+
+	var res eng.Result
+	res.Seconds = secs
+	for t, r := range resps {
+		res.Total += r.SME + r.Distributed
+		res.TreeNodes += r.SMENodes + r.DistNodes
+		if r.OOM {
+			res.OOM = true
+		}
+		req.Metrics.AccountRemote(t, r.CommBytes, r.CommMessages)
+	}
+	if res.OOM {
+		// Like the in-process engine, an out-of-budget run reports OOM
+		// and no count — partial per-machine totals would be misleading.
+		res.Total = 0
+		res.TreeNodes = 0
+	}
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package rads
+
+import (
+	"encoding/gob"
+
+	"rads/internal/plan"
+)
+
+func init() {
+	// Control-plane messages crossing the TCP transport between the
+	// coordinator ingress and remote machine daemons.
+	gob.Register(&RunQueryRequest{})
+	gob.Register(&RunQueryResponse{})
+}
+
+// RunQueryRequest is the coordinator -> machine control message: run
+// one RADS query on your shard. The pattern travels in its textual
+// form; the plan is computed once at the coordinator and shipped so
+// every machine executes the identical matching order regardless of
+// which process it lives in. A nil plan makes the machine plan for
+// itself (plan computation is deterministic, but shipping it keeps
+// the coordinator's prepared artifacts authoritative).
+type RunQueryRequest struct {
+	Pattern string
+	Plan    *plan.Plan
+
+	// Config knobs that survive the wire. Workers 0 lets the hosting
+	// daemon pick its own default (its share of the process's CPUs).
+	Workers        int
+	BudgetBytes    int64
+	GroupMemTarget int64
+
+	DisableSME               bool
+	DisableEndVertexCounting bool
+	DisableCache             bool
+	RandomGrouping           bool
+	DisableLoadBalancing     bool
+}
+
+// ByteSize estimates the wire size: the pattern text, the plan's
+// integer payload, and the fixed knobs.
+func (r *RunQueryRequest) ByteSize() int {
+	n := len(r.Pattern) + 8*4 + 5
+	if r.Plan != nil {
+		n += 8 * (len(r.Plan.Order) + len(r.Plan.Pos) + len(r.Plan.PrefixLen))
+		for i := range r.Plan.Units {
+			n += 8 * (1 + len(r.Plan.Units[i].LF))
+			n += 16 * (len(r.Plan.Star[i]) + len(r.Plan.Sib[i]) + len(r.Plan.Cross[i]))
+		}
+	}
+	return n
+}
+
+// MessageKind names the message for per-kind accounting.
+func (r *RunQueryRequest) MessageKind() string { return "runQuery" }
+
+// RunQueryResponse carries one machine's results back to the
+// coordinator — the per-machine slice of everything rads.Result
+// aggregates.
+type RunQueryResponse struct {
+	SME         int64
+	Distributed int64
+	SMENodes    int64
+	DistNodes   int64
+
+	ElapsedNs int64
+
+	ELBytesCum, ETBytesCum   int64
+	ELBytesPeak, ETBytesPeak int64
+
+	GroupsFormed int
+	GroupsStolen int
+	Rounds       int
+	Workers      int
+	DeferredEnds int
+
+	PeakMemBytes int64
+
+	// OOM reports that this machine died of its memory budget — an
+	// outcome, not an error, exactly as in the in-process engine.
+	OOM bool
+
+	// CommBytes/CommMessages are the communication this machine's own
+	// calls caused, accounted at the caller as always; the coordinator
+	// folds them into its per-query metrics.
+	CommBytes    int64
+	CommMessages int64
+}
+
+// ByteSize counts the fixed-width fields.
+func (r *RunQueryResponse) ByteSize() int { return 17*8 + 1 }
+
+// MessageKind names the message for per-kind accounting.
+func (r *RunQueryResponse) MessageKind() string { return "runQuery" }

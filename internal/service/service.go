@@ -50,6 +50,12 @@ var (
 	ErrOverloaded = errors.New("service: overloaded, queue full")
 )
 
+// DefaultPartitionSeed seeds the KWay partitioner when Config leaves
+// PartitionSeed zero. Exported so out-of-process tooling (radserve's
+// snapshot writer) partitions identically to service.Open — a snapshot
+// and a cold start must agree on the vertex-to-machine assignment.
+const DefaultPartitionSeed = 7
+
 // MaxPatternVertices bounds accepted query patterns. The paper's
 // largest query has 6 vertices and its running example 10; beyond
 // that enumeration is intractable anyway, and 10 keeps pre-admission
@@ -86,7 +92,7 @@ func (c Config) withDefaults() Config {
 		c.Machines = 4
 	}
 	if c.PartitionSeed == 0 {
-		c.PartitionSeed = 7
+		c.PartitionSeed = DefaultPartitionSeed
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 4
@@ -193,6 +199,11 @@ func OpenPartitioned(part *partition.Partition, cfg Config) (*Service, error) {
 // Partition exposes the resident partition (read-only by convention).
 func (s *Service) Partition() *partition.Partition { return s.part }
 
+// Artifacts exposes the prepared-artifact cache, for warm-start
+// persistence: a serving binary exports it on shutdown and seeds it on
+// boot through the snapshot codec.
+func (s *Service) Artifacts() *engine.ArtifactCache { return s.artifacts }
+
 // RegisterEngine adds (or replaces) an engine under name. Queries name
 // engines by these keys. Engines registered here are external: the
 // service cannot see their capabilities, so unsupported options are
@@ -207,6 +218,25 @@ func (s *Service) RegisterEngine(name string, fn EngineFunc) error {
 		return ErrClosed
 	}
 	s.engines[name] = engineEntry{fn: fn}
+	return nil
+}
+
+// RegisterEngineObject adds (or replaces) a full engine.Engine under
+// its own name, with its declared capabilities visible to admission
+// and routed through the service's artifact cache — unlike the
+// capability-blind RegisterEngine. Cluster-mode radserve uses this to
+// swap the in-process RADS engine for the remote coordinator.
+func (s *Service) RegisterEngineObject(e engine.Engine) error {
+	if e == nil {
+		return errors.New("service: nil engine")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	caps := e.Capabilities()
+	s.engines[e.Name()] = engineEntry{fn: s.registryEngine(e), caps: &caps}
 	return nil
 }
 

@@ -1,0 +1,303 @@
+// Package snapshot is the warm-start codec of the resident service: it
+// persists a partitioned data graph — one shard file per machine, each
+// carrying the machine's adjacency lists, the full ownership vector and
+// the machine's memoized border distances — plus the prepared-artifact
+// cache, so a restarted radserve (or a freshly booted radsworker)
+// loads its state from disk instead of re-partitioning and re-deriving
+// it.
+//
+// Layout of a snapshot directory:
+//
+//	manifest.json   global metadata (version, machine count, graph stats)
+//	shard-000.snap  machine 0: owner vector, owned adjacency, border distances
+//	shard-001.snap  ...
+//	artifacts.snap  optional: serialized engine.ArtifactCache entries
+//
+// Shard files are gob streams behind a magic+version header (the
+// binary sibling of graph.WriteAdjacency's text format). The format is
+// versioned: a reader confronted with a different version refuses
+// loudly (ErrVersion) instead of misinterpreting bytes, and truncated
+// files surface as errors, never as silently smaller graphs.
+//
+// A shard is self-sufficient for hosting its machine: the shard graph
+// has the global vertex count, complete adjacency lists for owned
+// vertices (including edges to foreign endpoints, per Section 2's "an
+// edge resides in a machine if either endpoint does"), and only the
+// implied stubs elsewhere — exactly the local knowledge the RADS
+// distribution discipline permits.
+package snapshot
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rads/internal/graph"
+	"rads/internal/partition"
+)
+
+// Version is the on-disk format version this binary reads and writes.
+const Version = 1
+
+const (
+	shardMagic    = "RADSSHRD"
+	manifestName  = "manifest.json"
+	artifactsName = "artifacts.snap"
+)
+
+// ErrVersion marks a snapshot written by an incompatible format
+// version. Callers test with errors.Is and re-partition from source.
+var ErrVersion = errors.New("snapshot: format version mismatch")
+
+// Manifest is the global metadata of a snapshot directory.
+type Manifest struct {
+	Version   int     `json:"version"`
+	Machines  int     `json:"machines"`
+	Vertices  int     `json:"vertices"`
+	Edges     int64   `json:"edges"`
+	AvgDegree float64 `json:"avg_degree"`
+	Source    string  `json:"source,omitempty"`
+	Created   string  `json:"created,omitempty"`
+}
+
+// header guards every binary snapshot file.
+type header struct {
+	Magic   string
+	Version int
+}
+
+// shardPayload is the gob body of one shard file.
+type shardPayload struct {
+	ID       int
+	M        int
+	Vertices int     // global vertex count
+	Owner    []int32 // full ownership vector (every machine needs it)
+
+	// Owned vertices and their complete adjacency lists, parallel.
+	Owned []graph.VertexID
+	Adj   [][]graph.VertexID
+
+	// BorderDist is machine ID's memoized border-distance map
+	// (Definition 1), persisted so a worker never re-runs the BFS.
+	BorderDist map[graph.VertexID]int32
+}
+
+// Exists reports whether dir holds a snapshot (a manifest).
+func Exists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// Write persists part into dir (created if needed): one shard file
+// per machine, then the manifest. The manifest is the commit point —
+// written last, via rename — so an interrupted Write leaves a
+// directory that Exists() reports false (or keeps its previous,
+// complete manifest) instead of a half-written snapshot that mixes
+// new and stale shards. Border distances are computed here if the
+// partition has not memoized them yet — paying the BFS at snapshot
+// time is the point.
+func Write(dir string, part *partition.Partition, source string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	// Invalidate any previous manifest first: the shards about to be
+	// overwritten no longer match it. The artifact dump goes with it —
+	// prepared artifacts are bound to the partition being replaced, and
+	// seeding them against a different graph would silently corrupt
+	// query results.
+	for _, name := range []string{manifestName, artifactsName} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	for t := 0; t < part.M; t++ {
+		if err := writeShard(dir, part, t); err != nil {
+			return err
+		}
+	}
+	man := Manifest{
+		Version:   Version,
+		Machines:  part.M,
+		Vertices:  part.G.NumVertices(),
+		Edges:     part.G.NumEdges(),
+		AvgDegree: part.G.AvgDegree(),
+		Source:    source,
+		Created:   time.Now().UTC().Format(time.RFC3339),
+	}
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+func shardPath(dir string, t int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.snap", t))
+}
+
+func writeShard(dir string, part *partition.Partition, t int) error {
+	owned := part.Vertices(t)
+	pay := shardPayload{
+		ID:         t,
+		M:          part.M,
+		Vertices:   part.G.NumVertices(),
+		Owner:      part.Owner,
+		Owned:      owned,
+		Adj:        make([][]graph.VertexID, len(owned)),
+		BorderDist: part.BorderDistances(t),
+	}
+	for i, v := range owned {
+		pay.Adj[i] = part.G.Adj(v)
+	}
+	f, err := os.Create(shardPath(dir, t))
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(header{Magic: shardMagic, Version: Version}); err != nil {
+		f.Close()
+		return fmt.Errorf("snapshot: shard %d: %w", t, err)
+	}
+	if err := enc.Encode(pay); err != nil {
+		f.Close()
+		return fmt.Errorf("snapshot: shard %d: %w", t, err)
+	}
+	return f.Close()
+}
+
+// ReadManifest loads and version-checks dir's manifest.
+func ReadManifest(dir string) (Manifest, error) {
+	var man Manifest
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return man, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := json.Unmarshal(b, &man); err != nil {
+		return man, fmt.Errorf("snapshot: bad manifest: %w", err)
+	}
+	if man.Version != Version {
+		return man, fmt.Errorf("%w: manifest has version %d, this binary reads %d", ErrVersion, man.Version, Version)
+	}
+	return man, nil
+}
+
+func readShard(dir string, t int) (*shardPayload, error) {
+	f, err := os.Open(shardPath(dir, t))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("snapshot: shard %d: truncated or corrupt header: %w", t, decodeErr(err))
+	}
+	if h.Magic != shardMagic {
+		return nil, fmt.Errorf("snapshot: shard %d: not a rads shard file (magic %q)", t, h.Magic)
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("%w: shard %d has version %d, this binary reads %d", ErrVersion, t, h.Version, Version)
+	}
+	var pay shardPayload
+	if err := dec.Decode(&pay); err != nil {
+		return nil, fmt.Errorf("snapshot: shard %d: truncated or corrupt payload: %w", t, decodeErr(err))
+	}
+	if pay.ID != t {
+		return nil, fmt.Errorf("snapshot: shard file %d carries machine %d", t, pay.ID)
+	}
+	if len(pay.Owner) != pay.Vertices || len(pay.Owned) != len(pay.Adj) {
+		return nil, fmt.Errorf("snapshot: shard %d: inconsistent payload", t)
+	}
+	return &pay, nil
+}
+
+// decodeErr normalizes gob's bare EOFs on truncated input.
+func decodeErr(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// OpenShard loads machine id's shard from dir as a shard-backed
+// Partition: the graph has complete adjacency for owned vertices (plus
+// the reverse stubs those edges imply) and the machine's border
+// distances pre-installed. Hosting any other machine on it would
+// violate the distribution discipline.
+func OpenShard(dir string, id int) (*partition.Partition, Manifest, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, man, err
+	}
+	pay, err := readShard(dir, id)
+	if err != nil {
+		return nil, man, err
+	}
+	if pay.M != man.Machines {
+		return nil, man, fmt.Errorf("snapshot: shard %d says %d machines, manifest %d", id, pay.M, man.Machines)
+	}
+	b := graph.NewBuilder(pay.Vertices)
+	for i, v := range pay.Owned {
+		for _, u := range pay.Adj[i] {
+			b.AddEdge(v, u)
+		}
+	}
+	part, err := partition.New(b.Build(), pay.M, pay.Owner)
+	if err != nil {
+		return nil, man, fmt.Errorf("snapshot: shard %d: %w", id, err)
+	}
+	part.InstallBorderDistances(id, pay.BorderDist)
+	return part, man, nil
+}
+
+// OpenPartition reassembles the full partition from every shard —
+// the coordinator's warm start. Each machine's persisted border
+// distances are installed, so the first query pays no BFS either.
+func OpenPartition(dir string) (*partition.Partition, Manifest, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, man, err
+	}
+	var owner []int32
+	var b *graph.Builder
+	bds := make([]map[graph.VertexID]int32, man.Machines)
+	for t := 0; t < man.Machines; t++ {
+		pay, err := readShard(dir, t)
+		if err != nil {
+			return nil, man, err
+		}
+		if b == nil {
+			b = graph.NewBuilder(pay.Vertices)
+			owner = pay.Owner
+		}
+		for i, v := range pay.Owned {
+			for _, u := range pay.Adj[i] {
+				b.AddEdge(v, u)
+			}
+		}
+		bds[t] = pay.BorderDist
+	}
+	if b == nil {
+		return nil, man, fmt.Errorf("snapshot: manifest lists no machines")
+	}
+	part, err := partition.New(b.Build(), man.Machines, owner)
+	if err != nil {
+		return nil, man, fmt.Errorf("snapshot: %w", err)
+	}
+	for t, bd := range bds {
+		part.InstallBorderDistances(t, bd)
+	}
+	return part, man, nil
+}
