@@ -17,6 +17,13 @@
 // to FILE — the repository's perf trajectory, e.g. BENCH_PR3.json:
 //
 //	radsbench -json BENCH_PR3.json -machines 4
+//
+// With -registry DIR, -dataset also resolves real ingested graphs by
+// their registry name (see cmd/radsprep), and -exp count runs every
+// registered engine on one pattern over that dataset and fails unless
+// all counts match the single-machine oracle — the CI dataset smoke:
+//
+//	radsbench -exp count -registry datasets -dataset karate -pattern triangle
 package main
 
 import (
@@ -25,14 +32,17 @@ import (
 	"os"
 
 	"rads/internal/harness"
+	"rads/internal/pattern"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (table1 table2 fig8 fig9 fig10 fig11 fig12 fig13 table3 table4 fig15 robust ablations all)")
+		exp       = flag.String("exp", "all", "experiment id (table1 table2 fig8 fig9 fig10 fig11 fig12 fig13 table3 table4 fig15 robust ablations count all)")
 		machines  = flag.Int("machines", 10, "number of simulated machines")
 		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
-		dataset   = flag.String("dataset", "", "dataset override for fig12/robust/ablations")
+		dataset   = flag.String("dataset", "", "dataset override for fig12/robust/ablations (built-in analogs) and the dataset for -exp count (analog or -registry name)")
+		registry  = flag.String("registry", "", "dataset registry directory for -exp count: resolves -dataset to an ingested .radsgraph by name")
+		patName   = flag.String("pattern", "triangle", "query pattern for -exp count (built-in name or name:n:u-v,...)")
 		budgetMB  = flag.Int64("budget-mb", 48, "per-machine memory budget in MiB for the comparison figures (0 = unlimited)")
 		jsonOut   = flag.String("json", "", "write a machine-readable benchmark report to this file instead of running -exp")
 		compare   = flag.String("compare", "", "diff a fresh run against this committed baseline (e.g. BENCH_PR3.json) instead of running -exp")
@@ -55,6 +65,13 @@ func main() {
 		}
 		if regressed && *strict {
 			os.Exit(2)
+		}
+		return
+	}
+	if *exp == "count" {
+		if err := runCount(*dataset, *registry, *patName, *machines, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "radsbench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -101,6 +118,34 @@ func runCompare(baselinePath string, tolerance float64) (bool, error) {
 	}
 	fmt.Printf("\nOK: nothing slower than baseline by more than %.0f%%\n", tolerance*100)
 	return false, nil
+}
+
+// runCount is the dataset smoke check: every registered engine must
+// produce the oracle's count for one pattern on one dataset (built-in
+// analog or registry-resolved .radsgraph). A mismatch is a nonzero
+// exit — CI ingests a committed edge list with radsprep and runs this
+// against the result.
+func runCount(ds, registry, patName string, machines int, scale float64) error {
+	if ds == "" {
+		return fmt.Errorf("-exp count needs -dataset")
+	}
+	store, _, err := harness.LoadStore(ds, registry, scale)
+	if err != nil {
+		return err
+	}
+	p := pattern.ByName(patName)
+	if p == nil {
+		var perr error
+		p, perr = pattern.Parse(patName)
+		if perr != nil {
+			return fmt.Errorf("pattern %q is neither a built-in name nor name:n:edges: %w", patName, perr)
+		}
+	}
+	t, err := harness.CountParity(store, ds, p, machines)
+	if t != nil {
+		t.Fprint(os.Stdout)
+	}
+	return err
 }
 
 // runJSON writes the machine-readable benchmark report.

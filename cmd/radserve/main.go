@@ -7,6 +7,13 @@
 //
 //	radserve -dataset DBLP -machines 10 -addr :8080
 //	radserve -graph edges.txt -max-concurrent 8 -budget-mb 64
+//	radserve -registry datasets -dataset lj -machines 10
+//
+// -dataset resolves built-in synthetic analogs first, then real
+// ingested .radsgraph datasets by name in the -registry directory
+// (see cmd/radsprep). Registry datasets are served from the compact
+// CSR store and produce dataset-backed snapshots: shards reference
+// the .radsgraph by checksum instead of re-encoding adjacency.
 //
 // With -snapshot DIR the service warm-starts: if DIR holds a snapshot
 // it is loaded (no re-partitioning, border distances and prepared
@@ -44,12 +51,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"rads/internal/cluster"
+	"rads/internal/dataset"
 	"rads/internal/engine"
 	"rads/internal/graph"
 	"rads/internal/harness"
@@ -73,6 +82,7 @@ type options struct {
 	cacheEntries  int
 	defEngine     string
 
+	registry string
 	snapDir  string
 	snapOnly bool
 	specPath string
@@ -82,7 +92,8 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
-	flag.StringVar(&o.dataset, "dataset", "DBLP", "built-in dataset analog (RoadNet DBLP LiveJournal UK2002)")
+	flag.StringVar(&o.dataset, "dataset", "DBLP", "dataset to serve: a built-in analog (RoadNet DBLP LiveJournal UK2002) or a -registry dataset name")
+	flag.StringVar(&o.registry, "registry", "datasets", "dataset registry directory (ingested .radsgraph graphs, see radsprep)")
 	flag.StringVar(&o.graphFile, "graph", "", "edge-list file overriding -dataset")
 	flag.Float64Var(&o.scale, "scale", 1.0, "dataset scale factor")
 	flag.IntVar(&o.machines, "machines", 8, "number of simulated machines")
@@ -108,16 +119,24 @@ func main() {
 func loadPartition(o options) (*partition.Partition, error) {
 	if o.snapDir != "" && snapshot.Exists(o.snapDir) {
 		start := time.Now()
-		part, man, err := snapshot.OpenPartition(o.snapDir)
-		if err != nil {
+		part, man, err := snapshot.OpenPartition(o.snapDir, o.registry)
+		switch {
+		case err == nil:
+			log.Printf("snapshot %s: %d machines, %d vertices, %d edges (source %s), loaded in %v — no re-partitioning",
+				o.snapDir, man.Machines, man.Vertices, man.Edges, man.Source, time.Since(start).Round(time.Millisecond))
+			return part, nil
+		case errors.Is(err, snapshot.ErrVersion):
+			// A snapshot from an older binary is a cache miss, not a
+			// fatal condition: the graph source is in hand, so rebuild
+			// and overwrite (the ErrVersion contract of the codec).
+			log.Printf("snapshot %s is an incompatible format version — re-partitioning from source (%v)", o.snapDir, err)
+		default:
 			return nil, err
 		}
-		log.Printf("snapshot %s: %d machines, %d vertices, %d edges (source %s), loaded in %v — no re-partitioning",
-			o.snapDir, man.Machines, man.Vertices, man.Edges, man.Source, time.Since(start).Round(time.Millisecond))
-		return part, nil
 	}
-	var g *graph.Graph
+	var g graph.Store
 	var source string
+	var ds *dataset.Manifest
 	if o.graphFile != "" {
 		f, err := os.Open(o.graphFile)
 		if err != nil {
@@ -131,18 +150,37 @@ func loadPartition(o options) (*partition.Partition, error) {
 		}
 		source = o.graphFile
 	} else {
-		d, err := harness.DatasetByName(o.dataset)
+		var err error
+		g, ds, err = harness.LoadStore(o.dataset, o.registry, o.scale)
 		if err != nil {
 			return nil, err
 		}
-		g = d.Build(o.scale)
 		source = o.dataset
+		if ds != nil {
+			log.Printf("dataset %s: CSR store from registry %s (%s)", ds.Name, o.registry, ds.Checksum)
+		}
 	}
 	log.Printf("graph %s: %d vertices, %d edges", source, g.NumVertices(), g.NumEdges())
 	part := partition.KWay(g, o.machines, service.DefaultPartitionSeed)
 	if o.snapDir != "" {
 		start := time.Now()
-		if err := snapshot.Write(o.snapDir, part, source); err != nil {
+		var err error
+		if ds != nil {
+			// Dataset-backed snapshot: shards reference the .radsgraph
+			// by checksum instead of re-encoding adjacency. Record an
+			// absolute path so local workers open it directly; remote
+			// ones search their own -dataset-dir.
+			man := *ds
+			if !filepath.IsAbs(man.Path) {
+				if abs, aerr := filepath.Abs(filepath.Join(o.registry, man.Path)); aerr == nil {
+					man.Path = abs
+				}
+			}
+			err = snapshot.WriteDataset(o.snapDir, part, source, man)
+		} else {
+			err = snapshot.Write(o.snapDir, part, source)
+		}
+		if err != nil {
 			return nil, err
 		}
 		log.Printf("snapshot written to %s (%d shards) in %v", o.snapDir, part.M, time.Since(start).Round(time.Millisecond))

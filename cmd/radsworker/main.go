@@ -40,15 +40,16 @@ func main() {
 		machines = flag.String("machines", "", "comma-separated machine ids to host (default: all at -listen)")
 		listen   = flag.String("listen", "", "listen address (default: the hosted machines' spec entry)")
 		workers  = flag.Int("workers", 0, "enumeration workers per hosted machine (0 = GOMAXPROCS/hosted)")
+		dsDir    = flag.String("dataset-dir", "", "extra directory searched for .radsgraph files referenced by dataset-backed snapshots")
 	)
 	flag.Parse()
-	if err := run(*specPath, *snapDir, *machines, *listen, *workers); err != nil {
+	if err := run(*specPath, *snapDir, *machines, *listen, *workers, *dsDir); err != nil {
 		fmt.Fprintln(os.Stderr, "radsworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath, snapDir, machineList, listen string, workers int) error {
+func run(specPath, snapDir, machineList, listen string, workers int, dsDir string) error {
 	if specPath == "" || snapDir == "" {
 		return fmt.Errorf("need -spec and -snapshot")
 	}
@@ -79,14 +80,20 @@ func run(specPath, snapDir, machineList, listen string, workers int) error {
 			c.Close()
 		}
 	}()
-	for _, id := range ids {
-		part, man, err := snapshot.OpenShard(snapDir, id)
-		if err != nil {
-			return err
-		}
-		if man.Machines != spec.M() {
-			return fmt.Errorf("snapshot has %d machines, spec %d", man.Machines, spec.M())
-		}
+	// Dataset-backed snapshots resolve the CSR file by recorded path,
+	// the snapshot directory, then -dataset-dir — always pinned to the
+	// manifest checksum, so every worker enumerates the same bytes.
+	// OpenShards loads and validates that file once, shared across
+	// every machine this worker hosts.
+	parts, man, err := snapshot.OpenShards(snapDir, ids, dsDir)
+	if err != nil {
+		return err
+	}
+	if man.Machines != spec.M() {
+		return fmt.Errorf("snapshot has %d machines, spec %d", man.Machines, spec.M())
+	}
+	for i, id := range ids {
+		part := parts[i]
 		metrics := cluster.NewMetrics(spec.M())
 		client := cluster.NewTCPClient(spec, metrics)
 		clients = append(clients, client)

@@ -62,11 +62,11 @@ func (b *baselineEngine) Run(ctx context.Context, req engine.Request) (engine.Re
 	res, err := b.run(req, cfg)
 	if err != nil {
 		if errors.Is(err, cluster.ErrOutOfMemory) {
-			return engine.Result{OOM: true}, nil
+			return engine.Result{OOM: true, PeakMemBytes: req.Budget.MaxPeak()}, nil
 		}
 		return engine.Result{}, err
 	}
-	return engine.Result{Total: res.Total, Seconds: res.ElapsedSeconds}, nil
+	return engine.Result{Total: res.Total, Seconds: res.ElapsedSeconds, PeakMemBytes: res.PeakMemBytes}, nil
 }
 
 // adapt lifts a plain runFunc (no artifact support) into the adapter's

@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"rads/internal/graph"
+)
+
+// FuzzIngest throws arbitrary bytes at the edge-list parser. The
+// contract under fuzzing: never panic, and when ingestion succeeds the
+// resulting store must pass the full CSR structural validation (sorted
+// symmetric loop-free adjacency — NewCSR runs inside IngestReaders)
+// and agree with the seed edge-list reader wherever both accept the
+// input.
+func FuzzIngest(f *testing.F) {
+	f.Add("0 1\n1 2\n2 0\n")
+	f.Add("# comment\n% other\n\n10 20\n20 10\n")
+	f.Add("5 5\n")
+	f.Add("9223372036854775807 1\n")
+	f.Add("1 2 3 4\n")
+	f.Add("-3 4\n")
+	f.Add("a b\n")
+	f.Add("1\n")
+	f.Add("18446744073709551615 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, st, err := IngestReaders(strings.NewReader(input), strings.NewReader(input), Options{})
+		if err != nil {
+			return
+		}
+		if int64(c.NumVertices()) < 0 || c.NumEdges() < 0 {
+			t.Fatalf("negative shape: %d vertices, %d edges", c.NumVertices(), c.NumEdges())
+		}
+		if st.Vertices != c.NumVertices() || st.Edges != c.NumEdges() {
+			t.Fatalf("stats (%d,%d) disagree with store (%d,%d)",
+				st.Vertices, st.Edges, c.NumVertices(), c.NumEdges())
+		}
+		// Degree-ordered ingestion of the same bytes must keep the
+		// same shape.
+		c2, _, err := IngestReaders(strings.NewReader(input), strings.NewReader(input), Options{DegreeOrder: true})
+		if err != nil {
+			t.Fatalf("plain ingest succeeded but degree-ordered failed: %v", err)
+		}
+		if c2.NumVertices() != c.NumVertices() || c2.NumEdges() != c.NumEdges() || c2.MaxDegree() != c.MaxDegree() {
+			t.Fatalf("degree ordering changed shape: %d/%d/%d vs %d/%d/%d",
+				c2.NumVertices(), c2.NumEdges(), c2.MaxDegree(), c.NumVertices(), c.NumEdges(), c.MaxDegree())
+		}
+		// Where the seed reader also accepts the input (small non-negative
+		// IDs), edge counts must match: both dedup and drop self-loops.
+		if g, gerr := graph.ReadEdgeList(strings.NewReader(input)); gerr == nil {
+			if g.NumEdges() != c.NumEdges() {
+				t.Fatalf("seed reader counts %d edges, ingester %d", g.NumEdges(), c.NumEdges())
+			}
+		}
+	})
+}

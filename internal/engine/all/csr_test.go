@@ -1,0 +1,101 @@
+// CSR-store conformance: every registered engine must produce
+// identical embedding counts whether the partition's graph is the seed
+// adjacency-list store or the dataset backend's CSR store — on a
+// committed *real* edge list (Zachary's karate club), ingested through
+// the same radsprep pipeline (streaming ingest, .radsgraph round trip,
+// optional degree-descending relabel) that production datasets take.
+package all_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"rads/internal/dataset"
+	"rads/internal/engine"
+	_ "rads/internal/engine/all"
+	"rads/internal/graph"
+	"rads/internal/localenum"
+	"rads/internal/partition"
+)
+
+const karatePath = "../../dataset/testdata/karate.txt"
+
+// loadKarateCSR ingests the fixture and round-trips it through the
+// .radsgraph codec, so the store under test is exactly what a server
+// would load from disk.
+func loadKarateCSR(t *testing.T, degreeOrder bool) *dataset.CSR {
+	t.Helper()
+	c, st, err := dataset.Ingest(karatePath, dataset.Options{DegreeOrder: degreeOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "karate.radsgraph")
+	if err := dataset.WriteFile(path, c, st.DegreeOrd); err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := dataset.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c2
+}
+
+// seedStoreFrom rebuilds the same labeled graph in the seed
+// adjacency-list representation, so the two partitions are
+// vertex-for-vertex identical and engine counts must match exactly.
+func seedStoreFrom(c *dataset.CSR) *graph.Graph {
+	b := graph.NewBuilder(c.NumVertices())
+	c.Edges(func(u, v graph.VertexID) bool {
+		b.AddEdge(u, v)
+		return true
+	})
+	return b.Build()
+}
+
+// TestConformanceCSRStoreParity is the acceptance gate of the dataset
+// backend: identical counts from every engine on the CSR store and
+// the seed store, with and without the hub-first relabeling, across
+// the conformance queries.
+func TestConformanceCSRStoreParity(t *testing.T) {
+	for _, degOrder := range []bool{false, true} {
+		name := "first-seen"
+		if degOrder {
+			name = "degree-ordered"
+		}
+		t.Run(name, func(t *testing.T) {
+			csr := loadKarateCSR(t, degOrder)
+			seed := seedStoreFrom(csr)
+			tr := conformanceTransport(t, 4)
+			csrPart := partition.KWay(csr, 4, 7)
+			seedPart := partition.KWay(seed, 4, 7)
+			for _, q := range conformanceQueries() {
+				want := localenum.Count(seed, q, localenum.Options{})
+				if want == 0 {
+					t.Fatalf("%s: oracle found nothing on karate", q.Name)
+				}
+				if got := localenum.Count(csr, q, localenum.Options{}); got != want {
+					t.Fatalf("%s: local enumerator counts %d on CSR, %d on seed store", q.Name, got, want)
+				}
+				for _, ename := range engine.Names() {
+					e, ok := engine.Lookup(ename)
+					if !ok {
+						t.Fatalf("Lookup(%q) failed", ename)
+					}
+					resCSR, err := e.Run(context.Background(), engine.Request{Part: csrPart, Pattern: q, Transport: tr})
+					if err != nil {
+						t.Fatalf("%s/%s on CSR: %v", ename, q.Name, err)
+					}
+					resSeed, err := e.Run(context.Background(), engine.Request{Part: seedPart, Pattern: q, Transport: tr})
+					if err != nil {
+						t.Fatalf("%s/%s on seed store: %v", ename, q.Name, err)
+					}
+					if resCSR.Total != want || resSeed.Total != want {
+						t.Errorf("%s/%s: CSR %d, seed %d, oracle %d",
+							ename, q.Name, resCSR.Total, resSeed.Total, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -140,6 +140,13 @@ type Result struct {
 	// is the engine-agnostic throughput metric of the bench harness
 	// (tree-nodes/sec).
 	TreeNodes int64
+	// PeakMemBytes is the run's accounted memory high-water mark (max
+	// over machines), when the engine can report one. For in-process
+	// engines it mirrors Request.Budget's MaxPeak; for the cluster
+	// coordinator it is the max over the remote workers' reported
+	// peaks — the workers' budgets live in other processes, so this
+	// field is the only way the number reaches the caller.
+	PeakMemBytes int64
 }
 
 // Engine is one subgraph-enumeration strategy over a partitioned data

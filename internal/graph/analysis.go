@@ -1,7 +1,5 @@
 package graph
 
-import "sort"
-
 // CountTriangles returns the number of triangles in the graph using
 // the degree-ordered merge algorithm: each triangle {a,b,c} is counted
 // exactly once at its lowest-ranked vertex. Runs in O(m^1.5) like the
@@ -11,35 +9,7 @@ import "sort"
 // profiling (the paper's RoadNet has almost no triangles, which is why
 // Crystal's clique index is useless there) and the Crystal baseline's
 // index-size accounting (Table 2).
-func (g *Graph) CountTriangles() int64 {
-	rank := g.DegeneracyOrder()
-	pos := make([]int32, g.NumVertices())
-	for i, v := range rank {
-		pos[v] = int32(i)
-	}
-	// Forward adjacency: neighbours later in the order.
-	fwd := make([][]VertexID, g.NumVertices())
-	for u := range g.adj {
-		for _, v := range g.adj[u] {
-			if pos[u] < pos[v] {
-				fwd[u] = append(fwd[u], v)
-			}
-		}
-	}
-	for u := range fwd {
-		a := fwd[u]
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
-	}
-	var total int64
-	var buf []VertexID
-	for u := range fwd {
-		for _, v := range fwd[u] {
-			buf = IntersectSorted(buf, fwd[u], fwd[v])
-			total += int64(len(buf))
-		}
-	}
-	return total
-}
+func (g *Graph) CountTriangles() int64 { return CountTrianglesOf(g) }
 
 // TrianglesPerVertex returns, for every vertex, the number of
 // triangles it participates in.

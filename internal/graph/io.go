@@ -32,6 +32,10 @@ func WriteAdjacency(w io.Writer, g *Graph) error {
 // ReadAdjacency parses the format written by WriteAdjacency. Vertices
 // may appear in any order; the vertex count is the max ID seen plus one.
 // Each undirected edge may appear on one or both endpoint lines.
+// Malformed input fails with a line-numbered error instead of being
+// silently repaired: negative IDs are rejected, and so is a second row
+// for a vertex that already had one (merging the two would mask a
+// corrupt or concatenated file).
 func ReadAdjacency(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -40,6 +44,7 @@ func ReadAdjacency(r io.Reader) (*Graph, error) {
 		neigh []VertexID
 	}
 	var rows []row
+	seen := make(map[VertexID]int) // vertex -> line of its row
 	maxID := VertexID(-1)
 	lineNo := 0
 	for sc.Scan() {
@@ -53,7 +58,14 @@ func ReadAdjacency(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: bad vertex id %q: %w", lineNo, fields[0], err)
 		}
+		if v64 < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id %d", lineNo, v64)
+		}
 		rw := row{v: VertexID(v64)}
+		if first, dup := seen[rw.v]; dup {
+			return nil, fmt.Errorf("graph: line %d: duplicate row for vertex %d (first on line %d)", lineNo, rw.v, first)
+		}
+		seen[rw.v] = lineNo
 		if rw.v > maxID {
 			maxID = rw.v
 		}
@@ -61,6 +73,9 @@ func ReadAdjacency(r io.Reader) (*Graph, error) {
 			u64, err := strconv.ParseInt(f, 10, 32)
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: bad neighbour id %q: %w", lineNo, f, err)
+			}
+			if u64 < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative neighbour id %d", lineNo, u64)
 			}
 			u := VertexID(u64)
 			if u > maxID {
@@ -124,6 +139,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		v64, err := strconv.ParseInt(fields[1], 10, 32)
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		if u64 < 0 || v64 < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id in %q", lineNo, line)
 		}
 		u, v := VertexID(u64), VertexID(v64)
 		if u > maxID {

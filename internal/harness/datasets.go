@@ -7,6 +7,7 @@ package harness
 import (
 	"fmt"
 
+	"rads/internal/dataset"
 	"rads/internal/gen"
 	"rads/internal/graph"
 )
@@ -70,6 +71,47 @@ func DatasetByName(name string) (Dataset, error) {
 		}
 	}
 	return Dataset{}, fmt.Errorf("harness: unknown dataset %q", name)
+}
+
+// LoadStore resolves a dataset name to a graph store: the synthetic
+// analogs above first, then — when registryDir is non-empty — the
+// real-graph dataset registry of ingested .radsgraph files. Registry
+// datasets come back with their manifest (radserve threads it into
+// dataset-backed snapshots); synthetic ones return a nil manifest.
+// Scale applies only to the generated analogs — a real graph is
+// whatever size it is.
+func LoadStore(name, registryDir string, scale float64) (graph.Store, *dataset.Manifest, error) {
+	var reg *dataset.Registry
+	if registryDir != "" {
+		// Open the registry up front: an unreadable registry must fail
+		// loudly even when the name matches a built-in, or a corrupt
+		// manifest would silently fall back to the synthetic analog.
+		var err error
+		reg, err = dataset.OpenRegistry(registryDir)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if d, err := DatasetByName(name); err == nil {
+		// Refuse the name outright if a registry dataset shadows it:
+		// silently serving the synthetic analog when the user ingested
+		// a real graph under the same name would put every count and
+		// benchmark on the wrong graph.
+		if reg != nil {
+			if _, clash := reg.Manifest(name); clash {
+				return nil, nil, fmt.Errorf("harness: %q names both a built-in analog and a dataset in %s — re-register the dataset under another name", name, registryDir)
+			}
+		}
+		return d.Build(scale), nil, nil
+	}
+	if reg == nil {
+		return nil, nil, fmt.Errorf("harness: unknown dataset %q (built-in: RoadNet DBLP LiveJournal UK2002; pass -registry to resolve real datasets)", name)
+	}
+	c, man, err := reg.Open(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: %q is neither a built-in analog nor registered in %s: %w", name, registryDir, err)
+	}
+	return c, &man, nil
 }
 
 func scaleInt(base int, s float64) int {

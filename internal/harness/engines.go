@@ -129,9 +129,11 @@ func RunEngine(spec RunSpec) Uniform {
 	u.OOM = res.OOM
 	u.TreeNodes = res.TreeNodes
 	u.CommMB = float64(metrics.TotalBytes()) / (1 << 20)
-	if budget != nil {
-		u.PeakMB = float64(budget.MaxPeak()) / (1 << 20)
+	peak := res.PeakMemBytes
+	if budget != nil && budget.MaxPeak() > peak {
+		peak = budget.MaxPeak()
 	}
+	u.PeakMB = float64(peak) / (1 << 20)
 	if err != nil {
 		if errors.Is(err, cluster.ErrOutOfMemory) {
 			u.OOM = true

@@ -58,7 +58,7 @@ type Stats struct {
 // with each full embedding f where f[u] is the data vertex matched to
 // query vertex u. The slice is reused; copy it to retain. Enumeration
 // stops early if fn returns false.
-func Enumerate(g *graph.Graph, p *pattern.Pattern, opts Options, fn func(f []graph.VertexID) bool) Stats {
+func Enumerate(g graph.Store, p *pattern.Pattern, opts Options, fn func(f []graph.VertexID) bool) Stats {
 	if p.N() == 0 {
 		return Stats{}
 	}
@@ -66,7 +66,7 @@ func Enumerate(g *graph.Graph, p *pattern.Pattern, opts Options, fn func(f []gra
 }
 
 // Count returns the number of embeddings of p in g under opts.
-func Count(g *graph.Graph, p *pattern.Pattern, opts Options) int64 {
+func Count(g graph.Store, p *pattern.Pattern, opts Options) int64 {
 	st := Enumerate(g, p, opts, func([]graph.VertexID) bool { return true })
 	return st.Embeddings
 }
@@ -87,7 +87,7 @@ const noUpperBound = graph.VertexID(math.MaxInt32)
 // allocating. An Enumerator is NOT safe for concurrent use; create one
 // per goroutine.
 type Enumerator struct {
-	g       *graph.Graph
+	g       graph.Store
 	p       *pattern.Pattern
 	order   []pattern.VertexID
 	allowed func(graph.VertexID) bool
@@ -109,7 +109,7 @@ type Enumerator struct {
 
 // New builds an Enumerator for p over g. The returned enumerator owns
 // all its scratch state; Run may be called any number of times.
-func New(g *graph.Graph, p *pattern.Pattern, opts Options) *Enumerator {
+func New(g graph.Store, p *pattern.Pattern, opts Options) *Enumerator {
 	n := p.N()
 	order := opts.Order
 	if order == nil {
@@ -392,7 +392,7 @@ func GreedyOrder(p *pattern.Pattern) []pattern.VertexID {
 // BruteForce counts embeddings by checking every injective assignment,
 // with no candidate propagation at all. It is an independent oracle for
 // the test suite; only use it on tiny graphs.
-func BruteForce(g *graph.Graph, p *pattern.Pattern, cons []pattern.OrderConstraint) int64 {
+func BruteForce(g graph.Store, p *pattern.Pattern, cons []pattern.OrderConstraint) int64 {
 	if cons == nil {
 		cons = p.SymmetryBreaking()
 	}

@@ -24,7 +24,7 @@ import (
 // Partition records the assignment of every vertex of a data graph to
 // one of m machines, plus the derived per-machine structures RADS needs.
 type Partition struct {
-	G     *graph.Graph
+	G     graph.Store
 	M     int     // number of machines
 	Owner []int32 // Owner[v] = machine owning v
 
@@ -37,7 +37,7 @@ type Partition struct {
 
 // New builds a Partition from an ownership vector. It validates that
 // every owner is in [0, m).
-func New(g *graph.Graph, m int, owner []int32) (*Partition, error) {
+func New(g graph.Store, m int, owner []int32) (*Partition, error) {
 	if len(owner) != g.NumVertices() {
 		return nil, fmt.Errorf("partition: owner length %d != vertices %d", len(owner), g.NumVertices())
 	}
@@ -187,7 +187,7 @@ func (p *Partition) Balance() float64 {
 
 // Hash assigns vertex v to machine v % m: no locality at all. This is
 // the control partitioner for ablations.
-func Hash(g *graph.Graph, m int) *Partition {
+func Hash(g graph.Store, m int) *Partition {
 	owner := make([]int32, g.NumVertices())
 	for v := range owner {
 		owner[v] = int32(v % m)
@@ -202,7 +202,7 @@ func Hash(g *graph.Graph, m int) *Partition {
 // KWay partitions g into m contiguous parts by multi-seed BFS region
 // growing followed by boundary refinement, a light-weight stand-in for
 // METIS multilevel k-way. Deterministic given seed.
-func KWay(g *graph.Graph, m int, seed int64) *Partition {
+func KWay(g graph.Store, m int, seed int64) *Partition {
 	n := g.NumVertices()
 	owner := make([]int32, n)
 	for i := range owner {
@@ -216,7 +216,7 @@ func KWay(g *graph.Graph, m int, seed int64) *Partition {
 	if n > 0 {
 		first := graph.VertexID(rng.Intn(n))
 		seeds = append(seeds, first)
-		dist := g.BFSFrom(first)
+		dist := graph.BFS(g, first)
 		for len(seeds) < m {
 			far, fd := graph.VertexID(0), int32(-1)
 			for v, d := range dist {
@@ -229,7 +229,7 @@ func KWay(g *graph.Graph, m int, seed int64) *Partition {
 				far = graph.VertexID(rng.Intn(n))
 			}
 			seeds = append(seeds, far)
-			nd := g.BFSFrom(far)
+			nd := graph.BFS(g, far)
 			for v := range dist {
 				if nd[v] >= 0 && (dist[v] < 0 || nd[v] < dist[v]) {
 					dist[v] = nd[v]
@@ -308,7 +308,7 @@ func KWay(g *graph.Graph, m int, seed int64) *Partition {
 // refine runs `passes` sweeps of greedy boundary refinement: move a
 // vertex to the neighbouring part holding most of its neighbours when
 // that reduces the edge cut without unbalancing parts beyond 15%.
-func refine(g *graph.Graph, owner []int32, m, passes int) {
+func refine(g graph.Store, owner []int32, m, passes int) {
 	n := g.NumVertices()
 	size := make([]int, m)
 	for _, o := range owner {

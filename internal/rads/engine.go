@@ -147,7 +147,7 @@ func Run(part *partition.Partition, p *pattern.Pattern, cfg Config) (*Result, er
 }
 
 type engine struct {
-	g    *graph.Graph
+	g    graph.Store
 	part *partition.Partition
 	p    *pattern.Pattern
 	pl   *plan.Plan

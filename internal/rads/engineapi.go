@@ -88,11 +88,11 @@ func (e apiEngine) Run(ctx context.Context, req eng.Request) (eng.Result, error)
 	secs := time.Since(start).Seconds()
 	if err != nil {
 		if errors.Is(err, cluster.ErrOutOfMemory) {
-			return eng.Result{Seconds: secs, OOM: true}, nil
+			return eng.Result{Seconds: secs, OOM: true, PeakMemBytes: req.Budget.MaxPeak()}, nil
 		}
 		return eng.Result{}, err
 	}
-	return eng.Result{Total: res.Total, Seconds: secs, TreeNodes: res.TreeNodes}, nil
+	return eng.Result{Total: res.Total, Seconds: secs, TreeNodes: res.TreeNodes, PeakMemBytes: res.PeakMemBytes}, nil
 }
 
 func init() { eng.Register(apiEngine{}) }

@@ -442,7 +442,7 @@ func (m *machine) stealPhase() error {
 // grow each group by the candidate with the highest proximity
 // (fraction of its neighbours adjacent to the group) until the
 // estimated memory phi(rg) would exceed the target.
-func proximityGroups(g *graph.Graph, cands []graph.VertexID, est func(graph.VertexID) int64, target int64) [][]graph.VertexID {
+func proximityGroups(g graph.Store, cands []graph.VertexID, est func(graph.VertexID) int64, target int64) [][]graph.VertexID {
 	remaining := make(map[graph.VertexID]bool, len(cands))
 	for _, v := range cands {
 		remaining[v] = true

@@ -1,0 +1,46 @@
+package rads_test
+
+import (
+	"context"
+	"testing"
+
+	"rads/internal/cluster"
+	"rads/internal/engine"
+	"rads/internal/gen"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+)
+
+// TestClusterEnginePeakMemBytes: the coordinator must fold the remote
+// workers' per-budget high-water marks into Result.PeakMemBytes — the
+// workers' MemBudget objects live in other processes, so dropping the
+// wire-reported peaks (the pre-dataset-PR behaviour) left cluster-mode
+// peak_mb permanently zero.
+func TestClusterEnginePeakMemBytes(t *testing.T) {
+	g := gen.Community(4, 16, 0.3, 77)
+	part := partition.KWay(g, 4, 7)
+	ce := hostCluster(t, part)
+
+	q := pattern.ByName("q4")
+	budget := cluster.NewMemBudget(part.M, 32<<20)
+	res, err := ce.Run(context.Background(), engine.Request{
+		Part: part, Pattern: q, Metrics: cluster.NewMetrics(part.M), Budget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOM {
+		t.Fatal("unexpectedly OOMed under a 32 MiB budget")
+	}
+	if res.PeakMemBytes <= 0 {
+		t.Errorf("PeakMemBytes = %d, want the max of the workers' reported peaks", res.PeakMemBytes)
+	}
+	if lim := budget.Limit(); res.PeakMemBytes > lim {
+		t.Errorf("PeakMemBytes = %d exceeds the %d budget that completed", res.PeakMemBytes, lim)
+	}
+	// The coordinator-local budget saw no charges (the machines are
+	// remote); the folded result is what makes the number visible.
+	if budget.MaxPeak() != 0 {
+		t.Logf("note: coordinator-local budget unexpectedly charged (%d)", budget.MaxPeak())
+	}
+}

@@ -167,6 +167,13 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 		if r.OOM {
 			res.OOM = true
 		}
+		// Fold the per-worker budget high-water marks into the result:
+		// the workers' MemBudgets live in their own processes, so this
+		// is the coordinator's only view of them (ROADMAP gap from the
+		// multi-process PR: the EngineResult path used to drop it).
+		if r.PeakMemBytes > res.PeakMemBytes {
+			res.PeakMemBytes = r.PeakMemBytes
+		}
 		req.Metrics.AccountRemote(t, r.CommBytes, r.CommMessages)
 	}
 	if res.OOM {

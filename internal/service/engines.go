@@ -38,6 +38,11 @@ type EngineResult struct {
 	// engine reports them (0 otherwise); the service accumulates it
 	// into the tree_nodes_total stat.
 	TreeNodes int64
+	// PeakMemBytes is the engine-reported memory high-water mark (max
+	// over machines). The cluster coordinator fills it from the remote
+	// workers; for in-process engines the per-query MemBudget usually
+	// carries the same number.
+	PeakMemBytes int64
 }
 
 // EngineFunc runs one query. It must honour ctx where it can and be
@@ -96,7 +101,8 @@ func (s *Service) registryEngine(e engine.Engine) EngineFunc {
 		if err != nil {
 			return EngineResult{}, err
 		}
-		return EngineResult{Total: res.Total, Seconds: res.Seconds, OOM: res.OOM, TreeNodes: res.TreeNodes}, nil
+		return EngineResult{Total: res.Total, Seconds: res.Seconds, OOM: res.OOM,
+			TreeNodes: res.TreeNodes, PeakMemBytes: res.PeakMemBytes}, nil
 	}
 }
 

@@ -158,7 +158,7 @@ type Service struct {
 
 // Open loads g into a new Service: partitions it across cfg.Machines
 // with the KWay partitioner and warms the per-machine resident state.
-func Open(g *graph.Graph, cfg Config) (*Service, error) {
+func Open(g graph.Store, cfg Config) (*Service, error) {
 	if g == nil || g.NumVertices() == 0 {
 		return nil, errors.New("service: empty data graph")
 	}
@@ -435,8 +435,16 @@ func (s *Service) serve(ctx context.Context, h *Handle, fn EngineFunc, key strin
 		OOM:       res.OOM,
 		Queued:    queuedFor,
 	}
-	if req.Budget != nil {
-		out.PeakMB = float64(req.Budget.MaxPeak()) / (1 << 20)
+	// The per-query budget object sees in-process charges; engines that
+	// run their machines elsewhere (the cluster coordinator) report the
+	// remote peaks through the result instead. Surface whichever view
+	// is larger, so cluster-mode peak_mb is no longer silently zero.
+	peak := res.PeakMemBytes
+	if req.Budget != nil && req.Budget.MaxPeak() > peak {
+		peak = req.Budget.MaxPeak()
+	}
+	if peak > 0 {
+		out.PeakMB = float64(peak) / (1 << 20)
 	}
 	// Cache completed counts only: an OOM verdict depends on the
 	// budget, not the pattern, and streams were never materialized.

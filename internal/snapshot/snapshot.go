@@ -35,14 +35,20 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"rads/internal/dataset"
 	"rads/internal/graph"
 	"rads/internal/partition"
 )
 
 // Version is the on-disk format version this binary reads and writes.
-const Version = 1
+// Version 2 added dataset-backed shards: when the partitioned graph
+// came from a registered .radsgraph dataset, shards carry only the
+// ownership vector and border distances and the manifest references
+// the dataset by checksum — the adjacency is never re-encoded.
+const Version = 2
 
 const (
 	shardMagic    = "RADSSHRD"
@@ -63,6 +69,12 @@ type Manifest struct {
 	AvgDegree float64 `json:"avg_degree"`
 	Source    string  `json:"source,omitempty"`
 	Created   string  `json:"created,omitempty"`
+
+	// Dataset, when set, identifies the .radsgraph file the partition
+	// was built over. Shards then omit adjacency (ExternalGraph) and
+	// every open loads the CSR store instead, verified against the
+	// recorded checksum.
+	Dataset *dataset.Manifest `json:"dataset,omitempty"`
 }
 
 // header guards every binary snapshot file.
@@ -77,6 +89,10 @@ type shardPayload struct {
 	M        int
 	Vertices int     // global vertex count
 	Owner    []int32 // full ownership vector (every machine needs it)
+
+	// ExternalGraph: the adjacency lives in the dataset referenced by
+	// the snapshot manifest, not in this shard; Owned and Adj are empty.
+	ExternalGraph bool
 
 	// Owned vertices and their complete adjacency lists, parallel.
 	Owned []graph.VertexID
@@ -102,6 +118,24 @@ func Exists(dir string) bool {
 // partition has not memoized them yet — paying the BFS at snapshot
 // time is the point.
 func Write(dir string, part *partition.Partition, source string) error {
+	return write(dir, part, source, nil)
+}
+
+// WriteDataset persists a partition whose graph came from a registered
+// .radsgraph dataset. Shards then carry only the ownership vector and
+// border distances — the adjacency is the dataset's CSR file,
+// referenced from the manifest by checksum, so the snapshot stays
+// O(n) on disk however large the graph is and every reader is
+// guaranteed to enumerate over the exact bytes the coordinator
+// partitioned. The caller resolves ds.Path first (absolute, or
+// relative to dir): workers on the same host open it directly, workers
+// elsewhere search their own -dataset-dir by file name and rely on the
+// checksum for identity.
+func WriteDataset(dir string, part *partition.Partition, source string, ds dataset.Manifest) error {
+	return write(dir, part, source, &ds)
+}
+
+func write(dir string, part *partition.Partition, source string, ds *dataset.Manifest) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
@@ -116,7 +150,7 @@ func Write(dir string, part *partition.Partition, source string) error {
 		}
 	}
 	for t := 0; t < part.M; t++ {
-		if err := writeShard(dir, part, t); err != nil {
+		if err := writeShard(dir, part, t, ds != nil); err != nil {
 			return err
 		}
 	}
@@ -128,6 +162,7 @@ func Write(dir string, part *partition.Partition, source string) error {
 		AvgDegree: part.G.AvgDegree(),
 		Source:    source,
 		Created:   time.Now().UTC().Format(time.RFC3339),
+		Dataset:   ds,
 	}
 	b, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
@@ -147,19 +182,22 @@ func shardPath(dir string, t int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%03d.snap", t))
 }
 
-func writeShard(dir string, part *partition.Partition, t int) error {
+func writeShard(dir string, part *partition.Partition, t int, external bool) error {
 	owned := part.Vertices(t)
 	pay := shardPayload{
-		ID:         t,
-		M:          part.M,
-		Vertices:   part.G.NumVertices(),
-		Owner:      part.Owner,
-		Owned:      owned,
-		Adj:        make([][]graph.VertexID, len(owned)),
-		BorderDist: part.BorderDistances(t),
+		ID:            t,
+		M:             part.M,
+		Vertices:      part.G.NumVertices(),
+		Owner:         part.Owner,
+		ExternalGraph: external,
+		BorderDist:    part.BorderDistances(t),
 	}
-	for i, v := range owned {
-		pay.Adj[i] = part.G.Adj(v)
+	if !external {
+		pay.Owned = owned
+		pay.Adj = make([][]graph.VertexID, len(owned))
+		for i, v := range owned {
+			pay.Adj[i] = part.G.Adj(v)
+		}
 	}
 	f, err := os.Create(shardPath(dir, t))
 	if err != nil {
@@ -235,8 +273,11 @@ func decodeErr(err error) error {
 // Partition: the graph has complete adjacency for owned vertices (plus
 // the reverse stubs those edges imply) and the machine's border
 // distances pre-installed. Hosting any other machine on it would
-// violate the distribution discipline.
-func OpenShard(dir string, id int) (*partition.Partition, Manifest, error) {
+// violate the distribution discipline. Dataset-backed shards load the
+// referenced CSR store instead (checksum-verified); datasetDirs are
+// extra directories searched for the .radsgraph file by name, for
+// workers whose filesystem layout differs from the coordinator's.
+func OpenShard(dir string, id int, datasetDirs ...string) (*partition.Partition, Manifest, error) {
 	man, err := ReadManifest(dir)
 	if err != nil {
 		return nil, man, err
@@ -248,6 +289,29 @@ func OpenShard(dir string, id int) (*partition.Partition, Manifest, error) {
 	if pay.M != man.Machines {
 		return nil, man, fmt.Errorf("snapshot: shard %d says %d machines, manifest %d", id, pay.M, man.Machines)
 	}
+	if pay.ExternalGraph {
+		g, err := openDatasetGraph(dir, man, datasetDirs)
+		if err != nil {
+			return nil, man, fmt.Errorf("snapshot: shard %d: %w", id, err)
+		}
+		part, err := partition.New(g, pay.M, pay.Owner)
+		if err != nil {
+			return nil, man, fmt.Errorf("snapshot: shard %d: %w", id, err)
+		}
+		part.InstallBorderDistances(id, pay.BorderDist)
+		return part, man, nil
+	}
+	part, err := shardPartition(pay)
+	if err != nil {
+		return nil, man, err
+	}
+	return part, man, nil
+}
+
+// shardPartition rebuilds a plain shard's partition from its decoded
+// payload: the owned adjacency (plus implied reverse stubs), the full
+// ownership vector and the machine's memoized border distances.
+func shardPartition(pay *shardPayload) (*partition.Partition, error) {
 	b := graph.NewBuilder(pay.Vertices)
 	for i, v := range pay.Owned {
 		for _, u := range pay.Adj[i] {
@@ -256,43 +320,148 @@ func OpenShard(dir string, id int) (*partition.Partition, Manifest, error) {
 	}
 	part, err := partition.New(b.Build(), pay.M, pay.Owner)
 	if err != nil {
-		return nil, man, fmt.Errorf("snapshot: shard %d: %w", id, err)
+		return nil, fmt.Errorf("snapshot: shard %d: %w", pay.ID, err)
 	}
-	part.InstallBorderDistances(id, pay.BorderDist)
-	return part, man, nil
+	part.InstallBorderDistances(pay.ID, pay.BorderDist)
+	return part, nil
+}
+
+// openDatasetGraph resolves a dataset-backed snapshot's CSR store: the
+// manifest-recorded path first (absolute or relative to the snapshot
+// directory), then the file's base name under the snapshot directory
+// and each extra search directory. Wherever the bytes are found, the
+// recorded checksum must match — the dataset's identity travels with
+// the snapshot, not the path.
+func openDatasetGraph(dir string, man Manifest, datasetDirs []string) (*dataset.CSR, error) {
+	ds := man.Dataset
+	if ds == nil {
+		return nil, errors.New("snapshot: shard references an external dataset but the manifest records none")
+	}
+	candidates := []string{ds.Path}
+	if !filepath.IsAbs(ds.Path) {
+		candidates = []string{filepath.Join(dir, ds.Path)}
+	}
+	base := filepath.Base(ds.Path)
+	candidates = append(candidates, filepath.Join(dir, base))
+	for _, d := range datasetDirs {
+		if d != "" {
+			candidates = append(candidates, filepath.Join(d, base))
+		}
+	}
+	var firstErr error
+	for _, path := range candidates {
+		if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		c, err := ds.OpenAt(path)
+		if err == nil {
+			return c, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, fmt.Errorf("snapshot: dataset %q (%s) not found at %s — pass its directory via -dataset-dir or place the file next to the snapshot",
+		ds.Name, ds.Checksum, strings.Join(candidates, ", "))
+}
+
+// OpenShards opens several machines' shards at once — the radsworker
+// boot path. For plain snapshots it is per-shard OpenShard. For
+// dataset-backed snapshots the CSR file is resolved, checksum-verified
+// and loaded exactly once, and one shared Partition hosts every
+// requested machine (each machine's persisted border distances
+// installed): hosting k machines costs one copy of the graph, not k.
+// Sharing is safe — machines only read the partition, and the
+// in-process engine already runs all its machines over one Partition.
+func OpenShards(dir string, ids []int, datasetDirs ...string) ([]*partition.Partition, Manifest, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, man, err
+	}
+	parts := make([]*partition.Partition, len(ids))
+	var shared *partition.Partition
+	for i, id := range ids {
+		pay, err := readShard(dir, id)
+		if err != nil {
+			return nil, man, err
+		}
+		if pay.M != man.Machines {
+			return nil, man, fmt.Errorf("snapshot: shard %d says %d machines, manifest %d", id, pay.M, man.Machines)
+		}
+		if !pay.ExternalGraph {
+			// Plain shard: its own graph of owned adjacency, built from
+			// the payload already decoded above (no second read).
+			part, err := shardPartition(pay)
+			if err != nil {
+				return nil, man, err
+			}
+			parts[i] = part
+			continue
+		}
+		if shared == nil {
+			g, err := openDatasetGraph(dir, man, datasetDirs)
+			if err != nil {
+				return nil, man, fmt.Errorf("snapshot: shard %d: %w", id, err)
+			}
+			shared, err = partition.New(g, pay.M, pay.Owner)
+			if err != nil {
+				return nil, man, fmt.Errorf("snapshot: shard %d: %w", id, err)
+			}
+		}
+		shared.InstallBorderDistances(id, pay.BorderDist)
+		parts[i] = shared
+	}
+	return parts, man, nil
 }
 
 // OpenPartition reassembles the full partition from every shard —
 // the coordinator's warm start. Each machine's persisted border
 // distances are installed, so the first query pays no BFS either.
-func OpenPartition(dir string) (*partition.Partition, Manifest, error) {
+func OpenPartition(dir string, datasetDirs ...string) (*partition.Partition, Manifest, error) {
 	man, err := ReadManifest(dir)
 	if err != nil {
 		return nil, man, err
 	}
 	var owner []int32
 	var b *graph.Builder
+	var g graph.Store
 	bds := make([]map[graph.VertexID]int32, man.Machines)
 	for t := 0; t < man.Machines; t++ {
 		pay, err := readShard(dir, t)
 		if err != nil {
 			return nil, man, err
 		}
-		if b == nil {
-			b = graph.NewBuilder(pay.Vertices)
-			owner = pay.Owner
-		}
-		for i, v := range pay.Owned {
-			for _, u := range pay.Adj[i] {
-				b.AddEdge(v, u)
+		if pay.ExternalGraph {
+			if g == nil {
+				g, err = openDatasetGraph(dir, man, datasetDirs)
+				if err != nil {
+					return nil, man, err
+				}
+				owner = pay.Owner
+			}
+		} else {
+			if b == nil {
+				b = graph.NewBuilder(pay.Vertices)
+				owner = pay.Owner
+			}
+			for i, v := range pay.Owned {
+				for _, u := range pay.Adj[i] {
+					b.AddEdge(v, u)
+				}
 			}
 		}
 		bds[t] = pay.BorderDist
 	}
-	if b == nil {
-		return nil, man, fmt.Errorf("snapshot: manifest lists no machines")
+	if g == nil {
+		if b == nil {
+			return nil, man, fmt.Errorf("snapshot: manifest lists no machines")
+		}
+		g = b.Build()
 	}
-	part, err := partition.New(b.Build(), man.Machines, owner)
+	part, err := partition.New(g, man.Machines, owner)
 	if err != nil {
 		return nil, man, fmt.Errorf("snapshot: %w", err)
 	}
