@@ -62,6 +62,7 @@ import (
 	"rads/internal/engine"
 	"rads/internal/graph"
 	"rads/internal/harness"
+	"rads/internal/obs"
 	"rads/internal/partition"
 	"rads/internal/pattern"
 	"rads/internal/rads"
@@ -87,6 +88,9 @@ type options struct {
 	snapOnly bool
 	specPath string
 	waitFor  time.Duration
+
+	slowQuery time.Duration
+	debugAddr string
 }
 
 func main() {
@@ -106,6 +110,8 @@ func main() {
 	flag.BoolVar(&o.snapOnly, "snapshot-only", false, "write the snapshot and exit (requires -snapshot)")
 	flag.StringVar(&o.specPath, "cluster", "", "cluster spec JSON: dispatch RADS queries to remote radsworker daemons")
 	flag.DurationVar(&o.waitFor, "wait-workers", 30*time.Second, "how long to wait for cluster workers at startup")
+	flag.DurationVar(&o.slowQuery, "slow-query", 0, "log queries slower than this and keep their profiles in the slow ring (0 disables)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "optional second listener serving /metrics, /healthz and /debug/pprof")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "radserve:", err)
@@ -212,6 +218,11 @@ func run(o options) error {
 		QueryBudgetBytes: o.budgetMB << 20,
 		CacheEntries:     o.cacheEntries,
 		DefaultEngine:    o.defEngine,
+		SlowQuery:        o.slowQuery,
+		OnSlowQuery: func(p *obs.Profile) {
+			log.Printf("slow query id=%d pattern=%s engine=%s wall=%.3fs queued=%.3fs (GET /debug/trace?id=%d)",
+				p.ID, p.Query, p.Engine, p.WallSeconds, p.QueuedSeconds, p.ID)
+		},
 	})
 	if err != nil {
 		return err
@@ -264,6 +275,18 @@ func run(o options) error {
 		log.Printf("listening on %s", o.addr)
 		errCh <- srv.ListenAndServe()
 	}()
+	// The debug listener carries pprof (opt-in: profiling endpoints
+	// should not ride on the public query port).
+	if o.debugAddr != "" {
+		dbg := &http.Server{Addr: o.debugAddr, Handler: obs.DebugMux(svc.Metrics(), nil)}
+		go func() {
+			log.Printf("debug listener on %s (/metrics /healthz /debug/pprof)", o.debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -297,6 +320,8 @@ func newMux(svc *service.Service) *http.ServeMux {
 	mux.HandleFunc("/engines", s.handleEngines)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/patterns", s.handlePatterns)
+	mux.Handle("/metrics", svc.Metrics().Handler())
+	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -448,6 +473,52 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Stats())
 }
 
+// handleTrace serves retained query profiles. Without an id it lists
+// recent and slow queries as span-free summaries; ?id=N returns one
+// query's full profile, spans included.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	if v := r.URL.Query().Get("id"); v != "" {
+		id, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad id %q", v))
+			return
+		}
+		p := s.svc.FindProfile(id)
+		if p == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no retained profile for query %d", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, p)
+		return
+	}
+	n := 32
+	if v := r.URL.Query().Get("n"); v != "" {
+		if k, err := strconv.Atoi(v); err == nil && k > 0 {
+			n = k
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recent": summarize(s.svc.RecentProfiles(n)),
+		"slow":   summarize(s.svc.SlowProfiles(n)),
+	})
+}
+
+// summarize strips raw span lists from profiles — the listing payload
+// stays small; fetch one id for the full trace.
+func summarize(ps []*obs.Profile) []obs.Profile {
+	out := make([]obs.Profile, 0, len(ps))
+	for _, p := range ps {
+		cp := *p
+		cp.Spans = nil
+		out = append(out, cp)
+	}
+	return out
+}
+
 func (s *server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	var names []string
 	for _, p := range pattern.QuerySet() {
@@ -487,6 +558,9 @@ func resultPayload(res service.Result) map[string]any {
 		"comm_mb":   res.CommMB,
 		"cache_hit": res.CacheHit,
 		"queued_ms": float64(res.Queued) / float64(time.Millisecond),
+	}
+	if res.QueryID > 0 {
+		out["query_id"] = res.QueryID
 	}
 	if res.OOM {
 		out["oom"] = true

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -359,4 +360,89 @@ func waitQueued(t *testing.T, svc *service.Service, want int64) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatalf("never saw %d queued queries", want)
+}
+
+// TestMetricsEndpoint: after a served query, /metrics exposes the
+// required families with non-empty series.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+
+	getJSON(t, ts.URL+"/query?pattern=triangle", nil)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	expo := b.String()
+	for _, line := range []string{
+		`rads_query_seconds_count{engine="RADS"} 1`,
+		"rads_admission_wait_seconds_count 1",
+		`rads_queries_total{outcome="ok"} 1`,
+		"rads_cache_misses_total 1",
+		`rads_transport_bytes_total{kind=`,
+		`rads_transport_latency_seconds_count{kind=`,
+	} {
+		if !strings.Contains(expo, line) {
+			t.Errorf("/metrics missing %q:\n%s", line, expo)
+		}
+	}
+}
+
+// TestDebugTraceEndpoint: a completed query's id resolves to its full
+// profile; the bare listing summarizes recent queries without spans.
+func TestDebugTraceEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+
+	var out map[string]any
+	getJSON(t, ts.URL+"/query?pattern=triangle", &out)
+	id, ok := out["query_id"].(float64)
+	if !ok || id == 0 {
+		t.Fatalf("query payload carries no query_id: %v", out)
+	}
+
+	var listing struct {
+		Recent []map[string]any `json:"recent"`
+		Slow   []map[string]any `json:"slow"`
+	}
+	getJSON(t, ts.URL+"/debug/trace", &listing)
+	if len(listing.Recent) != 1 {
+		t.Fatalf("trace listing has %d recent entries, want 1", len(listing.Recent))
+	}
+	if _, hasSpans := listing.Recent[0]["spans"]; hasSpans {
+		t.Error("listing entries must omit raw spans")
+	}
+
+	var prof struct {
+		ID     float64          `json:"id"`
+		Query  string           `json:"query"`
+		Engine string           `json:"engine"`
+		Phases []map[string]any `json:"phases"`
+		Spans  []map[string]any `json:"spans"`
+	}
+	resp := getJSON(t, ts.URL+"/debug/trace?id="+strconv.FormatInt(int64(id), 10), &prof)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace by id: status %d", resp.StatusCode)
+	}
+	if prof.ID != id || prof.Engine != "RADS" || len(prof.Phases) == 0 || len(prof.Spans) == 0 {
+		t.Errorf("full profile incomplete: %+v", prof)
+	}
+
+	resp2, err := http.Get(ts.URL + "/debug/trace?id=999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", resp2.StatusCode)
+	}
 }

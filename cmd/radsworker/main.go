@@ -18,9 +18,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -29,27 +31,30 @@ import (
 	"syscall"
 
 	"rads/internal/cluster"
+	"rads/internal/graph"
+	"rads/internal/obs"
 	"rads/internal/rads"
 	"rads/internal/snapshot"
 )
 
 func main() {
 	var (
-		specPath = flag.String("spec", "", "cluster spec JSON (machine id -> host:port)")
-		snapDir  = flag.String("snapshot", "", "snapshot directory with the machines' shards")
-		machines = flag.String("machines", "", "comma-separated machine ids to host (default: all at -listen)")
-		listen   = flag.String("listen", "", "listen address (default: the hosted machines' spec entry)")
-		workers  = flag.Int("workers", 0, "enumeration workers per hosted machine (0 = GOMAXPROCS/hosted)")
-		dsDir    = flag.String("dataset-dir", "", "extra directory searched for .radsgraph files referenced by dataset-backed snapshots")
+		specPath  = flag.String("spec", "", "cluster spec JSON (machine id -> host:port)")
+		snapDir   = flag.String("snapshot", "", "snapshot directory with the machines' shards")
+		machines  = flag.String("machines", "", "comma-separated machine ids to host (default: all at -listen)")
+		listen    = flag.String("listen", "", "listen address (default: the hosted machines' spec entry)")
+		workers   = flag.Int("workers", 0, "enumeration workers per hosted machine (0 = GOMAXPROCS/hosted)")
+		dsDir     = flag.String("dataset-dir", "", "extra directory searched for .radsgraph files referenced by dataset-backed snapshots")
+		debugAddr = flag.String("debug-addr", "", "optional HTTP listener serving /metrics, /healthz and /debug/pprof")
 	)
 	flag.Parse()
-	if err := run(*specPath, *snapDir, *machines, *listen, *workers, *dsDir); err != nil {
+	if err := run(*specPath, *snapDir, *machines, *listen, *workers, *dsDir, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "radsworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath, snapDir, machineList, listen string, workers int, dsDir string) error {
+func run(specPath, snapDir, machineList, listen string, workers int, dsDir, debugAddr string) error {
 	if specPath == "" || snapDir == "" {
 		return fmt.Errorf("need -spec and -snapshot")
 	}
@@ -92,19 +97,58 @@ func run(specPath, snapDir, machineList, listen string, workers int, dsDir strin
 	if man.Machines != spec.M() {
 		return fmt.Errorf("snapshot has %d machines, spec %d", man.Machines, spec.M())
 	}
+	// One registry for the whole process: machines hosted together
+	// share families, exposed on -debug-addr.
+	reg := obs.NewRegistry()
+	graph.SetKernelCounting(true)
+	reg.CounterVecFunc("rads_kernel_selections_total",
+		"Adaptive intersection kernel selections.", "kernel", graph.KernelCounts)
+	handleLatency := reg.HistogramVec("rads_handle_seconds",
+		"Daemon request handling latency by message kind.", "kind", nil)
+	srv.SetObserver(func(kind string, seconds float64) {
+		handleLatency.With(kind).Observe(seconds)
+	})
+	transportLatency := reg.HistogramVec("rads_transport_latency_seconds",
+		"Outgoing exchange latency by message kind.", "kind", nil)
+
+	var allMetrics []*cluster.Metrics
 	for i, id := range ids {
 		part := parts[i]
 		metrics := cluster.NewMetrics(spec.M())
+		metrics.SetLatencyObserver(func(kind string, seconds float64) {
+			transportLatency.With(kind).Observe(seconds)
+		})
+		allMetrics = append(allMetrics, metrics)
 		client := cluster.NewTCPClient(spec, metrics)
 		clients = append(clients, client)
 		d := rads.NewMachine(id, part, client, rads.MachineOptions{
 			AvgDegree: man.AvgDegree,
 			Workers:   workers,
 			Metrics:   metrics,
+			Obs:       reg,
 		})
 		srv.Register(id, d.Handle)
 		log.Printf("machine %d: shard loaded (%d owned vertices of %d, %d border-distance entries warm)",
 			id, len(part.Vertices(id)), man.Vertices, len(part.BorderDistances(id)))
+	}
+	reg.CounterVecFunc("rads_transport_bytes_total",
+		"Outgoing bytes by message kind, summed over hosted machines.", "kind",
+		func() map[string]int64 { return sumByKind(allMetrics, (*cluster.Metrics).ByKind) })
+	reg.CounterVecFunc("rads_transport_messages_total",
+		"Outgoing messages by message kind, summed over hosted machines.", "kind",
+		func() map[string]int64 { return sumByKind(allMetrics, (*cluster.Metrics).MessagesByKind) })
+
+	if debugAddr != "" {
+		fingerprint := rads.PartitionFingerprint(parts[0])
+		health := healthzHandler(ids, fingerprint)
+		dbg := &http.Server{Addr: debugAddr, Handler: obs.DebugMux(reg, health)}
+		go func() {
+			log.Printf("debug listener on %s (/metrics /healthz /debug/pprof)", debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
 	}
 	log.Printf("hosting machines %v on %s (%d workers each)", ids, srv.Addr(), workers)
 
@@ -113,6 +157,35 @@ func run(specPath, snapDir, machineList, listen string, workers int, dsDir strin
 	s := <-sig
 	log.Printf("received %v, shutting down", s)
 	return nil
+}
+
+// sumByKind folds one per-kind view across every hosted machine's
+// metrics object.
+func sumByKind(ms []*cluster.Metrics, view func(*cluster.Metrics) map[string]int64) map[string]int64 {
+	out := make(map[string]int64)
+	for _, m := range ms {
+		for k, v := range view(m) {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// healthzHandler reports the worker's identity: hosted machines and
+// the snapshot fingerprint, so an operator (or the smoke script) can
+// verify every process serves the same partition the coordinator
+// loaded. The worker only starts this listener after every shard is
+// registered, so reachable means ready.
+func healthzHandler(ids []int, fingerprint uint64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":               "ok",
+			"ready":                true,
+			"machines":             ids,
+			"snapshot_fingerprint": fmt.Sprintf("%016x", fingerprint),
+		})
+	})
 }
 
 // resolveMachines determines which machine ids this worker hosts and

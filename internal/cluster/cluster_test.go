@@ -102,6 +102,145 @@ func TestMetricsAccounting(t *testing.T) {
 	}
 }
 
+// TestMetricsAccountOutOfRange: machine ids outside [0, m) — the
+// coordinator (-1), or ids beyond the sized machine count — must not
+// panic and must still feed the per-kind totals.
+func TestMetricsAccountOutOfRange(t *testing.T) {
+	mt := NewMetrics(2)
+	req := &CheckRRequest{}
+	resp := &CheckRResponse{}
+	wire := int64(req.ByteSize() + resp.ByteSize())
+
+	mt.Account(Coordinator, 1, req, resp, "checkR") // from out of range
+	mt.Account(0, 99, req, resp, "checkR")          // to out of range
+	mt.Account(-5, 42, req, resp, "checkR")         // both out of range
+
+	if got := mt.ByKind()["checkR"]; got != 3*wire {
+		t.Errorf("per-kind bytes = %d, want %d", got, 3*wire)
+	}
+	if got := mt.MessagesByKind()["checkR"]; got != 3 {
+		t.Errorf("per-kind messages = %d, want 3", got)
+	}
+	// Only the in-range sides were accounted on machine counters.
+	if got := mt.MachineSent(0); got != int64(req.ByteSize()) {
+		t.Errorf("sent(0) = %d", got)
+	}
+	if got := mt.MachineReceived(1); got != int64(req.ByteSize()) {
+		t.Errorf("received(1) = %d", got)
+	}
+	// Exchanges originated by out-of-range senders appear in no
+	// machine's message count.
+	if got := mt.TotalMessages(); got != 1 {
+		t.Errorf("total messages = %d, want 1", got)
+	}
+
+	// A nil Metrics must swallow everything.
+	var nilMt *Metrics
+	nilMt.Account(0, 1, req, resp, "checkR")
+	nilMt.AccountRemote(0, 10, 1)
+	nilMt.ObserveLatency("checkR", 0.1)
+	nilMt.SetLatencyObserver(func(string, float64) {})
+}
+
+func TestMetricsMessagesByKindAndRemote(t *testing.T) {
+	mt := NewMetrics(4)
+	req := &VerifyERequest{Edges: []graph.Edge{{U: 1, V: 2}}}
+	mt.Account(0, 1, req, &VerifyEResponse{Exists: []bool{true}}, "verifyE")
+	mt.Account(0, 2, req, &VerifyEResponse{Exists: []bool{true}}, "verifyE")
+	mt.AccountRemote(3, 1000, 7)
+	msgs := mt.MessagesByKind()
+	if msgs["verifyE"] != 2 || msgs["remote"] != 7 {
+		t.Errorf("MessagesByKind = %v", msgs)
+	}
+	if mt.ByKind()["remote"] != 1000 {
+		t.Errorf("ByKind remote = %v", mt.ByKind())
+	}
+}
+
+// TestTransportLatencyObserved: both transports must time every
+// exchange through the metrics latency observer, labeled by kind.
+func TestTransportLatencyObserved(t *testing.T) {
+	type obs struct {
+		kind    string
+		seconds float64
+	}
+	newSink := func() (*[]obs, func(string, float64), *sync.Mutex) {
+		var mu sync.Mutex
+		var got []obs
+		return &got, func(kind string, s float64) {
+			mu.Lock()
+			got = append(got, obs{kind, s})
+			mu.Unlock()
+		}, &mu
+	}
+
+	// Local transport.
+	mt := NewMetrics(2)
+	got, sink, _ := newSink()
+	mt.SetLatencyObserver(sink)
+	lt := NewLocalTransport(mt)
+	defer lt.Close()
+	lt.Register(1, echoHandler(t))
+	if _, err := lt.Call(0, 1, &FetchVRequest{Vertices: []graph.VertexID{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || (*got)[0].kind != "fetchV" || (*got)[0].seconds < 0 {
+		t.Errorf("local latency observations = %+v", *got)
+	}
+
+	// TCP transport (client side).
+	mt2 := NewMetrics(2)
+	got2, sink2, _ := newSink()
+	mt2.SetLatencyObserver(sink2)
+	tt, err := NewTCPTransport(2, mt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tt.Close()
+	tt.Register(1, echoHandler(t))
+	if _, err := tt.Call(0, 1, &VerifyERequest{Edges: []graph.Edge{{U: 1, V: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got2) != 1 || (*got2)[0].kind != "verifyE" || (*got2)[0].seconds <= 0 {
+		t.Errorf("tcp latency observations = %+v", *got2)
+	}
+}
+
+// TestTCPServerObserver: the serve loop must time handler execution
+// for every request, including ones arriving before SetObserver only
+// after the observer is installed.
+func TestTCPServerObserver(t *testing.T) {
+	srv, err := NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Register(0, echoHandler(t))
+	var mu sync.Mutex
+	seen := map[string]int{}
+	srv.SetObserver(func(kind string, seconds float64) {
+		mu.Lock()
+		seen[kind]++
+		mu.Unlock()
+		if seconds < 0 {
+			t.Errorf("negative handler duration for %s", kind)
+		}
+	})
+	client := NewTCPClient(ClusterSpec{Machines: []string{srv.Addr()}}, nil)
+	defer client.Close()
+	if _, err := client.Call(1, 0, &FetchVRequest{Vertices: []graph.VertexID{3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Call(1, 0, &CheckRRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen["fetchV"] != 1 || seen["checkR"] != 1 {
+		t.Errorf("server observations = %v", seen)
+	}
+}
+
 func TestMessageByteSizes(t *testing.T) {
 	cases := []struct {
 		m    Message

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // LocalTransport delivers requests by direct handler invocation in the
@@ -43,11 +44,14 @@ func (t *LocalTransport) Call(from, to int, req Message) (Message, error) {
 	if !ok {
 		return nil, fmt.Errorf("cluster: no machine %d registered", to)
 	}
+	began := time.Now()
 	resp, err := h(from, req)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: machine %d handling %s from %d: %w", to, Kind(req), from, err)
 	}
-	t.metrics.Account(from, to, req, resp, Kind(req))
+	kind := Kind(req)
+	t.metrics.ObserveLatency(kind, time.Since(began).Seconds())
+	t.metrics.Account(from, to, req, resp, kind)
 	return resp, nil
 }
 

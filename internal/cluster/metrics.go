@@ -13,19 +13,48 @@ type Metrics struct {
 	received []atomic.Int64
 	messages []atomic.Int64
 
-	mu      sync.Mutex
-	perKind map[string]int64 // bytes per message kind, for diagnostics
+	mu          sync.Mutex
+	perKind     map[string]int64 // bytes per message kind, for diagnostics
+	perKindMsgs map[string]int64 // exchanges per message kind
+
+	// latency, when set, observes the wall time of every exchange the
+	// transports account here (label = message kind). It is installed
+	// once, before the metrics object reaches any transport, and left
+	// alone after — see SetLatencyObserver.
+	latency func(kind string, seconds float64)
 }
 
 // NewMetrics returns metrics for m machines.
 func NewMetrics(m int) *Metrics {
 	return &Metrics{
-		m:        m,
-		sent:     make([]atomic.Int64, m),
-		received: make([]atomic.Int64, m),
-		messages: make([]atomic.Int64, m),
-		perKind:  make(map[string]int64),
+		m:           m,
+		sent:        make([]atomic.Int64, m),
+		received:    make([]atomic.Int64, m),
+		messages:    make([]atomic.Int64, m),
+		perKind:     make(map[string]int64),
+		perKindMsgs: make(map[string]int64),
 	}
+}
+
+// SetLatencyObserver installs fn as the per-exchange latency sink
+// (typically an obs.HistogramVec observe). Must be called before the
+// metrics object is handed to a transport; it is not synchronized
+// against concurrent Accounts.
+func (mt *Metrics) SetLatencyObserver(fn func(kind string, seconds float64)) {
+	if mt == nil {
+		return
+	}
+	mt.latency = fn
+}
+
+// ObserveLatency records the wall time of one exchange of the given
+// kind. Transports call it on every Call; it is a no-op without an
+// observer installed.
+func (mt *Metrics) ObserveLatency(kind string, seconds float64) {
+	if mt == nil || mt.latency == nil {
+		return
+	}
+	mt.latency(kind, seconds)
 }
 
 // Account records one request/response exchange from -> to. Either
@@ -57,6 +86,7 @@ func (mt *Metrics) Account(from, to int, req, resp Message, kind string) {
 	}
 	mt.mu.Lock()
 	mt.perKind[kind] += rb + pb
+	mt.perKindMsgs[kind]++
 	mt.mu.Unlock()
 }
 
@@ -74,6 +104,7 @@ func (mt *Metrics) AccountRemote(id int, bytes, messages int64) {
 	mt.messages[id].Add(messages)
 	mt.mu.Lock()
 	mt.perKind["remote"] += bytes
+	mt.perKindMsgs["remote"] += messages
 	mt.mu.Unlock()
 }
 
@@ -107,6 +138,18 @@ func (mt *Metrics) ByKind() map[string]int64 {
 	defer mt.mu.Unlock()
 	out := make(map[string]int64, len(mt.perKind))
 	for k, v := range mt.perKind {
+		out[k] = v
+	}
+	return out
+}
+
+// MessagesByKind returns a copy of the per-message-kind exchange
+// counts.
+func (mt *Metrics) MessagesByKind() map[string]int64 {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	out := make(map[string]int64, len(mt.perKindMsgs))
+	for k, v := range mt.perKindMsgs {
 		out[k] = v
 	}
 	return out

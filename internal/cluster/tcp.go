@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 func init() {
@@ -52,6 +53,10 @@ var ErrRemote = errors.New("remote error")
 type TCPServer struct {
 	mu       sync.RWMutex
 	handlers map[int]Handler
+	// observer, when set, receives the handler execution time of every
+	// served request (label = message kind). Workers point it at a
+	// rads_handle_seconds histogram family.
+	observer func(kind string, seconds float64)
 
 	ln net.Listener
 	wg sync.WaitGroup
@@ -108,6 +113,14 @@ func (s *TCPServer) Register(id int, h Handler) {
 	s.handlers[id] = h
 }
 
+// SetObserver installs fn as the handler-duration sink for every
+// request this server serves. Safe to call while serving.
+func (s *TCPServer) SetObserver(fn func(kind string, seconds float64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
+}
+
 func (s *TCPServer) serve() {
 	defer s.wg.Done()
 	for {
@@ -133,14 +146,22 @@ func (s *TCPServer) serve() {
 				}
 				s.mu.RLock()
 				h, ok := s.handlers[env.To]
+				observe := s.observer
 				s.mu.RUnlock()
 				var reply tcpReply
 				if !ok {
 					reply.Err = fmt.Sprintf("machine %d is not hosted here", env.To)
-				} else if resp, err := h(env.From, env.Req); err != nil {
-					reply.Err = err.Error()
 				} else {
-					reply.Resp = resp
+					began := time.Now()
+					resp, err := h(env.From, env.Req)
+					if observe != nil {
+						observe(Kind(env.Req), time.Since(began).Seconds())
+					}
+					if err != nil {
+						reply.Err = err.Error()
+					} else {
+						reply.Resp = resp
+					}
 				}
 				if err := enc.Encode(&reply); err != nil {
 					return
@@ -222,6 +243,7 @@ func (t *TCPClient) Call(from, to int, req Message) (Message, error) {
 	}
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
+	began := time.Now()
 	if err := conn.enc.Encode(&tcpEnvelope{From: from, To: to, Req: req}); err != nil {
 		t.drop(connKey{from, to}, conn)
 		return nil, fmt.Errorf("cluster: send to %d: %w", to, err)
@@ -234,7 +256,9 @@ func (t *TCPClient) Call(from, to int, req Message) (Message, error) {
 	if reply.Err != "" {
 		return nil, fmt.Errorf("%w: %s", ErrRemote, reply.Err)
 	}
-	t.metrics.Account(from, to, req, reply.Resp, Kind(req))
+	kind := Kind(req)
+	t.metrics.ObserveLatency(kind, time.Since(began).Seconds())
+	t.metrics.Account(from, to, req, reply.Resp, kind)
 	return reply.Resp, nil
 }
 

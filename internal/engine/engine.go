@@ -21,6 +21,7 @@ import (
 
 	"rads/internal/cluster"
 	"rads/internal/graph"
+	"rads/internal/obs"
 	"rads/internal/partition"
 	"rads/internal/pattern"
 )
@@ -124,6 +125,12 @@ type Request struct {
 	// default; engines without intra-machine parallelism ignore it.
 	// Results must be identical at any setting.
 	Workers int
+	// Trace, if non-nil, receives the run's phase spans (plan, fetch,
+	// verifyE, region groups, stealing). Engines that support tracing
+	// record into it and build Result.Profile from it; a nil Trace is
+	// recorded into safely (obs.Trace is nil-tolerant), so engines may
+	// thread it unconditionally.
+	Trace *obs.Trace
 }
 
 // Result is an engine's normalized answer.
@@ -147,6 +154,11 @@ type Result struct {
 	// peaks — the workers' budgets live in other processes, so this
 	// field is the only way the number reaches the caller.
 	PeakMemBytes int64
+	// Profile is the run's execution profile (time per phase,
+	// per-machine breakdown, kernel selections, steals) for engines
+	// that trace their runs; nil otherwise. The service fills in the
+	// query-level fields (ID, Query, Engine, QueuedSeconds).
+	Profile *obs.Profile
 }
 
 // Engine is one subgraph-enumeration strategy over a partitioned data

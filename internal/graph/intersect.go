@@ -80,8 +80,10 @@ func IntersectSorted[V cmp.Ordered](dst, a, b []V) []V {
 		a, b = b, a
 	}
 	if len(b) >= gallopRatio*len(a) {
+		countGallop()
 		return IntersectSortedGallop(dst, a, b)
 	}
+	countMerge()
 	return IntersectSortedMerge(dst, a, b)
 }
 
@@ -190,6 +192,9 @@ func IntersectManyFrom[V cmp.Ordered](dst []V, lb V, lists ...[]V) []V {
 func intersectMany[V cmp.Ordered](dst []V, lists [][]V, bounded bool, lb V) []V {
 	if len(lists) == 0 {
 		return dst[:0]
+	}
+	if len(lists) > 2 {
+		countKWay()
 	}
 	// Insertion sort by length: k is the pattern degree (tiny), and
 	// sort.Slice would allocate in the steady-state loop.

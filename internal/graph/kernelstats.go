@@ -1,0 +1,68 @@
+package graph
+
+import "sync/atomic"
+
+// Kernel-selection counters: how often the adaptive intersection
+// picked each regime. They exist for observability — the serving
+// processes (radserve, radsworker) enable them and export the totals
+// as a /metrics family and per-query deltas in Result.Profile — and
+// stay OFF by default so benchmark loops pay only a relaxed atomic
+// load per intersection.
+//
+// The counters are process-wide, so per-query deltas sampled around a
+// run are approximate under concurrent queries; that is the documented
+// trade-off for keeping the hot path to a single predictable branch.
+var (
+	kernelCounting atomic.Bool
+	kernelMerge    atomic.Int64
+	kernelGallop   atomic.Int64
+	kernelKWay     atomic.Int64
+)
+
+// SetKernelCounting turns kernel-selection counting on or off
+// process-wide.
+func SetKernelCounting(on bool) { kernelCounting.Store(on) }
+
+// KernelCounts returns the cumulative selection counts per kernel
+// ("merge", "gallop", "kway"). The map is freshly allocated.
+func KernelCounts() map[string]int64 {
+	return map[string]int64{
+		"merge":  kernelMerge.Load(),
+		"gallop": kernelGallop.Load(),
+		"kway":   kernelKWay.Load(),
+	}
+}
+
+// KernelCountsDelta subtracts an earlier KernelCounts sample from the
+// current counts, dropping zero entries; nil when nothing ran.
+func KernelCountsDelta(before map[string]int64) map[string]int64 {
+	now := KernelCounts()
+	out := make(map[string]int64, len(now))
+	for k, v := range now {
+		if d := v - before[k]; d > 0 {
+			out[k] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func countMerge() {
+	if kernelCounting.Load() {
+		kernelMerge.Add(1)
+	}
+}
+
+func countGallop() {
+	if kernelCounting.Load() {
+		kernelGallop.Add(1)
+	}
+}
+
+func countKWay() {
+	if kernelCounting.Load() {
+		kernelKWay.Add(1)
+	}
+}

@@ -1,0 +1,30 @@
+package graph
+
+import "testing"
+
+func TestKernelCounting(t *testing.T) {
+	SetKernelCounting(true)
+	defer SetKernelCounting(false)
+
+	before := KernelCounts()
+	small := []VertexID{1, 2, 3}
+	var large []VertexID
+	for i := VertexID(0); i < 100; i++ {
+		large = append(large, i)
+	}
+	IntersectSorted(nil, small, large)      // gallop: 100 >= 8*3
+	IntersectSorted(nil, small, small)      // merge
+	IntersectMany(nil, small, small, small) // kway (3 lists) + pairwise merges
+	delta := KernelCountsDelta(before)
+	if delta["gallop"] < 1 || delta["merge"] < 1 || delta["kway"] != 1 {
+		t.Errorf("delta = %v", delta)
+	}
+
+	// Counting off: no movement.
+	SetKernelCounting(false)
+	before = KernelCounts()
+	IntersectSorted(nil, small, large)
+	if d := KernelCountsDelta(before); d != nil {
+		t.Errorf("counters moved while disabled: %v", d)
+	}
+}

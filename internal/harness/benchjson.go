@@ -24,6 +24,11 @@ type EngineBenchResult struct {
 	Embeddings       int64   `json:"embeddings"`
 	EmbeddingsPerSec float64 `json:"embeddings_per_sec"`
 	TreeNodesPerSec  float64 `json:"tree_nodes_per_sec,omitempty"`
+	// PhaseSeconds is the run's per-phase time breakdown for engines
+	// that trace (RADS); absent otherwise. Additive field: reports
+	// written before it decode with it nil, keeping -compare working
+	// against older baselines.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
 // BenchReport is the machine-readable payload radsbench -json writes —
@@ -103,6 +108,7 @@ func BenchJSON(machines int, scale float64) (*BenchReport, error) {
 			if secs := elapsed.Seconds(); secs > 0 {
 				r.EmbeddingsPerSec = float64(u.Total) / secs
 			}
+			r.PhaseSeconds = u.Profile.PhaseSeconds()
 			rep.Engines = append(rep.Engines, r)
 		}
 	}

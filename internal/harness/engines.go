@@ -10,6 +10,7 @@ import (
 	"rads/internal/engine"
 	_ "rads/internal/engine/all" // register RADS and the baselines
 	"rads/internal/graph"
+	"rads/internal/obs"
 	"rads/internal/partition"
 	"rads/internal/pattern"
 )
@@ -40,6 +41,9 @@ type Uniform struct {
 	TreeNodes int64
 	OOM       bool // the engine died of ErrOutOfMemory (paper: empty bar)
 	Err       error
+	// Profile is the run's execution profile for engines that trace
+	// (RADS; nil otherwise) — radsbench embeds its phase breakdown.
+	Profile *obs.Profile
 }
 
 // TreeNodesPerSec returns the run's search-tree throughput, 0 when the
@@ -128,6 +132,7 @@ func RunEngine(spec RunSpec) Uniform {
 	u.Seconds = res.Seconds
 	u.OOM = res.OOM
 	u.TreeNodes = res.TreeNodes
+	u.Profile = res.Profile
 	u.CommMB = float64(metrics.TotalBytes()) / (1 << 20)
 	peak := res.PeakMemBytes
 	if budget != nil && budget.MaxPeak() > peak {

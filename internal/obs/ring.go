@@ -1,0 +1,67 @@
+package obs
+
+import "sync"
+
+// ProfileRing keeps the N most recent query profiles for the
+// /debug/trace endpoint. Appends overwrite the oldest entry; Recent
+// returns newest-first copies. Safe for concurrent use.
+type ProfileRing struct {
+	mu   sync.Mutex
+	buf  []*Profile
+	next int
+	full bool
+}
+
+// NewProfileRing returns a ring holding up to n profiles (n < 1 is
+// clamped to 1).
+func NewProfileRing(n int) *ProfileRing {
+	if n < 1 {
+		n = 1
+	}
+	return &ProfileRing{buf: make([]*Profile, n)}
+}
+
+// Append records p (nil is ignored).
+func (r *ProfileRing) Append(p *Profile) {
+	if p == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = p
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Recent returns up to n profiles, newest first (n <= 0 means all).
+func (r *ProfileRing) Recent(n int) []*Profile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]*Profile, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Find returns the profile with the given query id, or nil.
+func (r *ProfileRing) Find(id uint64) *Profile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range r.buf {
+		if p != nil && p.ID == id {
+			return p
+		}
+	}
+	return nil
+}

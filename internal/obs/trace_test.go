@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	r := tr.Start("execute", 0, 0)
+	r.End()
+	tr.AddPhase("execute", 1, time.Second)
+	if p := tr.Snapshot(time.Second); p != nil {
+		t.Fatal("nil trace must snapshot to nil")
+	}
+}
+
+func TestTracePhaseAggregation(t *testing.T) {
+	tr := NewTrace()
+	s := tr.Start("plan", -1, -1)
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	tr.AddPhase("execute", 0, 30*time.Millisecond)
+	tr.AddPhase("execute", 1, 50*time.Millisecond)
+	tr.AddPhase("execute/verifyE", 1, 10*time.Millisecond)
+
+	p := tr.Snapshot(100 * time.Millisecond)
+	if p.WallSeconds != 0.1 {
+		t.Fatalf("wall: %v", p.WallSeconds)
+	}
+	if got := p.Phase("execute"); got < 0.079 || got > 0.081 {
+		t.Errorf("execute aggregate: %v, want 0.08", got)
+	}
+	// Phases sort by descending time; execute dominates.
+	if p.Phases[0].Name != "execute" || p.Phases[0].Count != 2 {
+		t.Errorf("top phase: %+v", p.Phases[0])
+	}
+	if len(p.Spans) != 4 {
+		t.Errorf("spans: %d, want 4", len(p.Spans))
+	}
+	// AccountedFraction only counts top-level phases (no "/").
+	frac := p.AccountedFraction()
+	if frac < 0.8 || frac > 0.95 {
+		t.Errorf("accounted fraction: %v", frac)
+	}
+	ps := p.PhaseSeconds()
+	if len(ps) != 3 || ps["execute/verifyE"] != 0.01 {
+		t.Errorf("PhaseSeconds: %v", ps)
+	}
+}
+
+func TestTraceSpanCapAndConcurrency(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 1000 // 8000 spans total > maxSpans
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				tr.AddPhase("execute/steal", m, time.Microsecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	p := tr.Snapshot(time.Second)
+	if len(p.Spans) != maxSpans {
+		t.Errorf("spans: %d, want cap %d", len(p.Spans), maxSpans)
+	}
+	if p.DroppedSpans != goroutines*perG-maxSpans {
+		t.Errorf("dropped: %d", p.DroppedSpans)
+	}
+	// Aggregation must not lose dropped spans.
+	if c := p.Phases[0].Count; c != goroutines*perG {
+		t.Errorf("phase count: %d, want %d", c, goroutines*perG)
+	}
+}
+
+func TestProfileRing(t *testing.T) {
+	r := NewProfileRing(3)
+	if got := r.Recent(0); len(got) != 0 {
+		t.Fatalf("empty ring: %d", len(got))
+	}
+	for i := 1; i <= 5; i++ {
+		r.Append(&Profile{ID: uint64(i)})
+	}
+	got := r.Recent(0)
+	if len(got) != 3 || got[0].ID != 5 || got[1].ID != 4 || got[2].ID != 3 {
+		t.Fatalf("recent: %+v", ids(got))
+	}
+	if r.Find(4) == nil || r.Find(1) != nil {
+		t.Fatal("Find: evicted id still present or live id missing")
+	}
+	if got := r.Recent(1); len(got) != 1 || got[0].ID != 5 {
+		t.Fatalf("recent(1): %+v", ids(got))
+	}
+	r.Append(nil) // ignored
+	if len(r.Recent(0)) != 3 {
+		t.Fatal("nil append must be ignored")
+	}
+}
+
+func ids(ps []*Profile) []uint64 {
+	out := make([]uint64, len(ps))
+	for i, p := range ps {
+		out[i] = p.ID
+	}
+	return out
+}
+
+func TestAccountedFractionEdgeCases(t *testing.T) {
+	var p *Profile
+	if p.AccountedFraction() != 0 {
+		t.Fatal("nil profile")
+	}
+	if (&Profile{}).AccountedFraction() != 0 {
+		t.Fatal("zero wall")
+	}
+	p = &Profile{WallSeconds: 2, Phases: []PhaseStat{
+		{Name: "execute", Seconds: 1},
+		{Name: "fold", Seconds: 0.5},
+		{Name: "execute/sub", Seconds: 10}, // sub-phases excluded
+	}}
+	if f := p.AccountedFraction(); f != 0.75 {
+		t.Fatalf("fraction: %v, want 0.75", f)
+	}
+}

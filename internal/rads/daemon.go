@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rads/internal/cluster"
+	"rads/internal/obs"
 	"rads/internal/partition"
 	"rads/internal/pattern"
 )
@@ -39,6 +40,18 @@ type Machine struct {
 	workers int
 	metrics *cluster.Metrics
 
+	// Pre-resolved observability families (nil without a registry).
+	// Machines hosted in one process share the registry, so these are
+	// process-level totals with per-family labels, not per-machine.
+	obsQueryLatency *obs.Histogram
+	obsWaitLatency  *obs.Histogram
+	obsQueries      obs.CounterVec
+	obsSteals       *obs.Counter
+	obsGroups       *obs.Counter
+	obsTreeNodes    *obs.Counter
+	obsCacheHits    *obs.Counter
+	obsCacheMisses  *obs.Counter
+
 	runMu sync.Mutex              // serializes runQuery
 	cur   atomic.Pointer[machine] // active query's per-machine state, nil when idle
 }
@@ -57,6 +70,11 @@ type MachineOptions struct {
 	// transport accounts into; per-query deltas are reported back to
 	// the coordinator in each RunQueryResponse.
 	Metrics *cluster.Metrics
+	// Obs, when set, receives the machine's serving metrics: query
+	// latency, queue wait (time serialized behind an earlier query),
+	// steal/group/tree-node counters and adjacency-cache hit rates.
+	// Machines hosted in one process share one registry.
+	Obs *obs.Registry
 }
 
 // NewMachine hosts machine id of part, calling other machines through
@@ -67,7 +85,7 @@ func NewMachine(id int, part *partition.Partition, tr cluster.Transport, opts Ma
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Machine{
+	d := &Machine{
 		id:      id,
 		part:    part,
 		tr:      tr,
@@ -75,6 +93,25 @@ func NewMachine(id int, part *partition.Partition, tr cluster.Transport, opts Ma
 		workers: w,
 		metrics: opts.Metrics,
 	}
+	if reg := opts.Obs; reg != nil {
+		d.obsQueryLatency = reg.HistogramVec("rads_query_seconds",
+			"Query execution latency by engine.", "engine", nil).With("RADS")
+		d.obsWaitLatency = reg.Histogram("rads_admission_wait_seconds",
+			"Time queries waited behind earlier queries before starting.", nil)
+		d.obsQueries = reg.CounterVec("rads_queries_total",
+			"Queries executed by outcome.", "outcome")
+		d.obsSteals = reg.Counter("rads_steals_total",
+			"Region groups stolen via shareR.")
+		d.obsGroups = reg.Counter("rads_groups_total",
+			"Region groups formed.")
+		d.obsTreeNodes = reg.Counter("rads_tree_nodes_total",
+			"Successful partial matches (search-tree nodes) linked.")
+		d.obsCacheHits = reg.Counter("rads_cache_hits_total",
+			"Adjacency-cache hits in fetch phases.")
+		d.obsCacheMisses = reg.Counter("rads_cache_misses_total",
+			"Adjacency-cache misses (fetched over the network).")
+	}
+	return d
 }
 
 // ID returns the hosted machine id.
@@ -118,8 +155,12 @@ func (d *Machine) Handle(from int, req cluster.Message) (cluster.Message, error)
 // runQuery executes one coordinator-shipped query on this machine's
 // shard and reports the machine's result slice.
 func (d *Machine) runQuery(r *RunQueryRequest) (cluster.Message, error) {
+	waitStart := time.Now()
 	d.runMu.Lock()
 	defer d.runMu.Unlock()
+	if d.obsWaitLatency != nil {
+		d.obsWaitLatency.Observe(time.Since(waitStart).Seconds())
+	}
 
 	p, err := pattern.Parse(r.Pattern)
 	if err != nil {
@@ -129,10 +170,12 @@ func (d *Machine) runQuery(r *RunQueryRequest) (cluster.Message, error) {
 	if workers <= 0 {
 		workers = d.workers
 	}
+	trace := obs.NewTrace()
 	cfg := Config{
 		Plan:                     r.Plan,
 		Transport:                d.tr,
 		Workers:                  workers,
+		Trace:                    trace,
 		GroupMemTarget:           r.GroupMemTarget,
 		DisableSME:               r.DisableSME,
 		DisableEndVertexCounting: r.DisableEndVertexCounting,
@@ -176,6 +219,9 @@ func (d *Machine) runQuery(r *RunQueryRequest) (cluster.Message, error) {
 		Rounds:       eng.pl.NumRounds(),
 		Workers:      eng.workers(),
 		DeferredEnds: len(eng.deferred),
+		PhaseNs:      trace.PhaseNs(),
+		CacheHits:    m.view.hits.Load(),
+		CacheMisses:  m.view.misses.Load(),
 	}
 	if cfg.Budget != nil {
 		resp.PeakMemBytes = cfg.Budget.MaxPeak()
@@ -184,6 +230,7 @@ func (d *Machine) runQuery(r *RunQueryRequest) (cluster.Message, error) {
 		resp.CommBytes = d.metrics.TotalBytes() - commBytes0
 		resp.CommMessages = d.metrics.TotalMessages() - commMsgs0
 	}
+	d.observeQuery(m, runErr)
 	if runErr != nil {
 		if errors.Is(runErr, cluster.ErrOutOfMemory) {
 			resp.OOM = true
@@ -192,6 +239,27 @@ func (d *Machine) runQuery(r *RunQueryRequest) (cluster.Message, error) {
 		return nil, runErr
 	}
 	return resp, nil
+}
+
+// observeQuery feeds one finished query into the registry families.
+func (d *Machine) observeQuery(m *machine, runErr error) {
+	if d.obsQueryLatency == nil {
+		return
+	}
+	d.obsQueryLatency.Observe(m.elapsed.Seconds())
+	outcome := "ok"
+	switch {
+	case errors.Is(runErr, cluster.ErrOutOfMemory):
+		outcome = "oom"
+	case runErr != nil:
+		outcome = "error"
+	}
+	d.obsQueries.With(outcome).Inc()
+	d.obsSteals.Add(int64(m.groupsStolen))
+	d.obsGroups.Add(int64(m.groupsFormed))
+	d.obsTreeNodes.Add(m.smeNodes + m.distNodes)
+	d.obsCacheHits.Add(m.view.hits.Load())
+	d.obsCacheMisses.Add(m.view.misses.Load())
 }
 
 // PartitionFingerprint hashes a partition's identity — machine count

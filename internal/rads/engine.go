@@ -32,6 +32,7 @@ import (
 
 	"rads/internal/cluster"
 	"rads/internal/graph"
+	"rads/internal/obs"
 	"rads/internal/partition"
 	"rads/internal/pattern"
 	"rads/internal/plan"
@@ -69,6 +70,12 @@ type Config struct {
 	// identical at any setting — workers only share the group queue and
 	// commutative counters.
 	Workers int
+	// Trace, if non-nil, receives the run's phase spans: top-level
+	// "plan"/"execute"/"fold" tile the run; "execute/..." sub-phases
+	// (sme, grouping, group, steal, fetchV, verifyE, machine) carry
+	// machine/worker attribution for drill-down. Nil records nothing
+	// at no cost (obs.Trace is nil-tolerant).
+	Trace *obs.Trace
 
 	// DisableSME forces every candidate through the distributed path
 	// (ablation; Section 3.1 claims SM-E cuts cost).
@@ -122,6 +129,19 @@ type Result struct {
 	StolenGroups int // groups processed via shareR
 	Rounds       int // rounds per region group (= plan units)
 	Workers      int // enumeration workers per machine this run used
+
+	// Per-machine breakdown, indexed like MachineElapsed: tree nodes
+	// linked, region groups formed and groups stolen by each machine —
+	// the raw material of Profile.Machines.
+	MachineTreeNodes []int64
+	MachineGroups    []int
+	MachineStolen    []int
+
+	// Adjacency-cache effectiveness across the run's fetch phases:
+	// Hits are foreign pivots already resident in a machine's fetched
+	// cache; Misses crossed the network.
+	CacheHits   int64
+	CacheMisses int64
 
 	// TreeNodes counts successful partial matches across the run: SM-E
 	// recursion nodes plus embedding-trie nodes linked by R-Meef. It is
@@ -199,8 +219,10 @@ func newEngine(part *partition.Partition, p *pattern.Pattern, cfg Config) (*engi
 	}
 	pl := cfg.Plan
 	if pl == nil {
+		sp := cfg.Trace.Start("plan", -1, -1)
 		var err error
 		pl, err = plan.Compute(p)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("rads: planning %s: %w", p.Name, err)
 		}
@@ -402,6 +424,7 @@ func (e *engine) run() (*Result, error) {
 		defer e.tr.Close()
 	}
 	start := time.Now()
+	execSp := e.cfg.Trace.Start("execute", -1, -1)
 	var wg sync.WaitGroup
 	errs := make([]error, len(e.machines))
 	for i, m := range e.machines {
@@ -412,11 +435,14 @@ func (e *engine) run() (*Result, error) {
 		}(i, m)
 	}
 	wg.Wait()
+	execSp.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	foldSp := e.cfg.Trace.Start("fold", -1, -1)
+	defer foldSp.End()
 	res := &Result{
 		Elapsed:      time.Since(start),
 		CommBytes:    e.metrics.TotalBytes(),
@@ -441,6 +467,11 @@ func (e *engine) run() (*Result, error) {
 		}
 		res.RegionGroups += m.groupsFormed
 		res.StolenGroups += m.groupsStolen
+		res.MachineTreeNodes = append(res.MachineTreeNodes, m.smeNodes+m.distNodes)
+		res.MachineGroups = append(res.MachineGroups, m.groupsFormed)
+		res.MachineStolen = append(res.MachineStolen, m.groupsStolen)
+		res.CacheHits += m.view.hits.Load()
+		res.CacheMisses += m.view.misses.Load()
 	}
 	if e.cfg.Budget != nil {
 		res.PeakMemBytes = e.cfg.Budget.MaxPeak()

@@ -9,6 +9,8 @@ import (
 
 	"rads/internal/cluster"
 	eng "rads/internal/engine"
+	"rads/internal/graph"
+	"rads/internal/obs"
 	"rads/internal/partition"
 	"rads/internal/pattern"
 	"rads/internal/plan"
@@ -68,6 +70,12 @@ func (e apiEngine) Run(ctx context.Context, req eng.Request) (eng.Result, error)
 	if err := eng.ValidateRequest(e, req); err != nil {
 		return eng.Result{}, err
 	}
+	// Always trace: RADS runs return a Profile whether or not the
+	// caller supplied a trace to share.
+	trace := req.Trace
+	if trace == nil {
+		trace = obs.NewTrace()
+	}
 	cfg := Config{
 		Context:     ctx,
 		Metrics:     req.Metrics,
@@ -75,6 +83,7 @@ func (e apiEngine) Run(ctx context.Context, req eng.Request) (eng.Result, error)
 		OnEmbedding: req.OnEmbedding,
 		Workers:     req.Workers,
 		Transport:   req.Transport,
+		Trace:       trace,
 	}
 	if req.Artifact != nil {
 		pa, ok := req.Artifact.(PlanArtifact)
@@ -83,16 +92,37 @@ func (e apiEngine) Run(ctx context.Context, req eng.Request) (eng.Result, error)
 		}
 		cfg.Plan = pa.Plan
 	}
+	kernels0 := graph.KernelCounts()
 	start := time.Now()
 	res, err := Run(req.Part, req.Pattern, cfg)
-	secs := time.Since(start).Seconds()
+	elapsed := time.Since(start)
+	secs := elapsed.Seconds()
 	if err != nil {
 		if errors.Is(err, cluster.ErrOutOfMemory) {
-			return eng.Result{Seconds: secs, OOM: true, PeakMemBytes: req.Budget.MaxPeak()}, nil
+			prof := trace.Snapshot(elapsed)
+			prof.Kernels = graph.KernelCountsDelta(kernels0)
+			return eng.Result{Seconds: secs, OOM: true, PeakMemBytes: req.Budget.MaxPeak(), Profile: prof}, nil
 		}
 		return eng.Result{}, err
 	}
-	return eng.Result{Total: res.Total, Seconds: secs, TreeNodes: res.TreeNodes, PeakMemBytes: res.PeakMemBytes}, nil
+	prof := trace.Snapshot(elapsed)
+	prof.Kernels = graph.KernelCountsDelta(kernels0)
+	prof.Steals = res.StolenGroups
+	for i, d := range res.MachineElapsed {
+		ms := obs.MachineStat{Machine: i, Seconds: d.Seconds()}
+		if i < len(res.MachineTreeNodes) {
+			ms.TreeNodes = res.MachineTreeNodes[i]
+		}
+		if i < len(res.MachineGroups) {
+			ms.Groups = res.MachineGroups[i]
+		}
+		if i < len(res.MachineStolen) {
+			ms.Stolen = res.MachineStolen[i]
+		}
+		prof.Machines = append(prof.Machines, ms)
+	}
+	return eng.Result{Total: res.Total, Seconds: secs, TreeNodes: res.TreeNodes,
+		PeakMemBytes: res.PeakMemBytes, Profile: prof}, nil
 }
 
 func init() { eng.Register(apiEngine{}) }

@@ -139,6 +139,8 @@ func (m *machine) run() (err error) {
 	}()
 	start := time.Now()
 	defer func() { m.elapsed = time.Since(start) }()
+	machSp := m.e.cfg.Trace.Start("execute/machine", m.id, -1)
+	defer machSp.End()
 
 	ustart := m.e.pl.Units[0].Piv
 	span := m.e.p.Span(ustart)
@@ -170,12 +172,16 @@ func (m *machine) run() (err error) {
 	// SM-E (Section 3.1), one candidate at a time so the per-candidate
 	// trie-cost samples feed the Section 6 memory estimator.
 	if len(c1) > 0 {
-		if err := m.runSME(c1); err != nil {
+		smeSp := m.e.cfg.Trace.Start("execute/sme", m.id, -1)
+		err := m.runSME(c1)
+		smeSp.End()
+		if err != nil {
 			return err
 		}
 	}
 
 	// Region groups (Section 6).
+	grpSp := m.e.cfg.Trace.Start("execute/grouping", m.id, -1)
 	target := m.e.groupMemTarget()
 	var groups [][]graph.VertexID
 	if m.e.cfg.RandomGrouping {
@@ -185,6 +191,7 @@ func (m *machine) run() (err error) {
 	}
 	m.groupsFormed = len(groups)
 	m.queue.Fill(groups)
+	grpSp.End()
 
 	// Process own groups across the worker pool; the daemon may give
 	// some of them away concurrently via shareR.
@@ -194,7 +201,10 @@ func (m *machine) run() (err error) {
 
 	// Work stealing (Section 3.1 checkR/shareR).
 	if !m.e.cfg.DisableLoadBalancing {
-		if err := m.stealPhase(); err != nil {
+		stealSp := m.e.cfg.Trace.Start("execute/steal", m.id, -1)
+		err := m.stealPhase()
+		stealSp.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -226,7 +236,7 @@ func (m *machine) processGroups() error {
 				if !ok {
 					return
 				}
-				if err := m.processGroup(g); err != nil {
+				if err := m.processGroup(g, w); err != nil {
 					errs[w] = err
 					aborted.Store(true)
 					return
@@ -420,7 +430,7 @@ func (m *machine) stealPhase() error {
 					aborted.Store(true)
 					continue
 				}
-				if err := m.processGroup(g); err != nil {
+				if err := m.processGroup(g, w); err != nil {
 					errs[w] = err
 					aborted.Store(true)
 				}
@@ -582,6 +592,13 @@ type view struct {
 	mu    sync.RWMutex
 	cache map[graph.VertexID][]graph.VertexID
 	pins  map[graph.VertexID]int
+
+	// Fetch-phase cache effectiveness: hits are foreign pivots found
+	// resident (pinCached success in a fetch phase), misses crossed the
+	// network. Counted only in the batched fetch phases — not in the
+	// adjKnown hot path, whose per-probe counting would distort the
+	// enumeration inner loop.
+	hits, misses atomic.Int64
 }
 
 func newView(e *engine, id int) *view {

@@ -8,6 +8,7 @@ import (
 
 	"rads/internal/cluster"
 	eng "rads/internal/engine"
+	"rads/internal/obs"
 	"rads/internal/partition"
 	"rads/internal/pattern"
 	"rads/internal/plan"
@@ -100,6 +101,13 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 	if err := eng.ValidateRequest(c, req); err != nil {
 		return eng.Result{}, err
 	}
+	// Always trace: the coordinator's phases plus the folded per-worker
+	// phase aggregates make a cluster query profile like an in-process
+	// one.
+	trace := req.Trace
+	if trace == nil {
+		trace = obs.NewTrace()
+	}
 	var pl *plan.Plan
 	if req.Artifact != nil {
 		pa, ok := req.Artifact.(PlanArtifact)
@@ -108,8 +116,10 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 		}
 		pl = pa.Plan
 	} else {
+		planSp := trace.Start("plan", -1, -1)
 		var err error
 		pl, err = plan.Compute(req.Pattern)
+		planSp.End()
 		if err != nil {
 			return eng.Result{}, fmt.Errorf("rads: planning %s: %w", req.Pattern.Name, err)
 		}
@@ -128,6 +138,7 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 	}
 
 	start := time.Now()
+	execSp := trace.Start("execute", -1, -1)
 	resps := make([]*RunQueryResponse, c.m)
 	errs := make([]error, c.m)
 	var wg sync.WaitGroup
@@ -152,6 +163,7 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 		}(t)
 	}
 	wg.Wait()
+	execSp.End()
 	secs := time.Since(start).Seconds()
 	for _, err := range errs {
 		if err != nil {
@@ -159,8 +171,11 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 		}
 	}
 
+	foldSp := trace.Start("fold", -1, -1)
 	var res eng.Result
 	res.Seconds = secs
+	var steals int
+	machines := make([]obs.MachineStat, 0, c.m)
 	for t, r := range resps {
 		res.Total += r.SME + r.Distributed
 		res.TreeNodes += r.SMENodes + r.DistNodes
@@ -175,12 +190,45 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 			res.PeakMemBytes = r.PeakMemBytes
 		}
 		req.Metrics.AccountRemote(t, r.CommBytes, r.CommMessages)
+		// Fold the worker's phase aggregate into the trace. Only the
+		// "/"-qualified sub-phases cross over: worker time runs inside
+		// the coordinator's "execute" span, and the workers' own
+		// top-level phases would break the tiling ("execute/machine"
+		// already carries each machine's whole run).
+		for name, ns := range r.PhaseNs {
+			if isSubPhase(name) {
+				trace.AddPhase(name, t, time.Duration(ns))
+			}
+		}
+		steals += r.GroupsStolen
+		machines = append(machines, obs.MachineStat{
+			Machine:   t,
+			Seconds:   time.Duration(r.ElapsedNs).Seconds(),
+			TreeNodes: r.SMENodes + r.DistNodes,
+			Groups:    r.GroupsFormed,
+			Stolen:    r.GroupsStolen,
+		})
 	}
+	foldSp.End()
 	if res.OOM {
 		// Like the in-process engine, an out-of-budget run reports OOM
 		// and no count — partial per-machine totals would be misleading.
 		res.Total = 0
 		res.TreeNodes = 0
 	}
+	prof := trace.Snapshot(time.Since(start))
+	prof.Steals = steals
+	prof.Machines = machines
+	res.Profile = prof
 	return res, nil
+}
+
+// isSubPhase reports whether a phase name is already "/"-qualified.
+func isSubPhase(name string) bool {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			return true
+		}
+	}
+	return false
 }

@@ -62,9 +62,12 @@ type groupState struct {
 	chargedTrie int64 // budget bytes currently charged for the trie
 }
 
-// processGroup runs all R-Meef rounds for one region group.
-func (m *machine) processGroup(group []graph.VertexID) error {
+// processGroup runs all R-Meef rounds for one region group. worker is
+// the pool-worker index it runs on, for span attribution.
+func (m *machine) processGroup(group []graph.VertexID, worker int) error {
 	e := m.e
+	groupSp := e.cfg.Trace.Start("execute/group", m.id, worker)
+	defer groupSp.End()
 	st := &groupState{
 		trie: etrie.New(len(e.redOrder)),
 		evi:  etrie.NewEVI(),
@@ -378,9 +381,11 @@ func (m *machine) fetchDeferredPivots(st *groupState, frontier []*etrie.Node) er
 			// DisableCache models a cacheless machine: every round pays
 			// the fetch again, so a cache hit is not taken.
 			if !e.cfg.DisableCache && st.view.pinCached(v) {
+				st.view.hits.Add(1)
 				st.logPin(v) // keep it resident past any cache drop
 				continue
 			}
+			st.view.misses.Add(1)
 			need[int(e.part.Owner[v])] = append(need[int(e.part.Owner[v])], v)
 		}
 	}
@@ -389,6 +394,10 @@ func (m *machine) fetchDeferredPivots(st *groupState, frontier []*etrie.Node) er
 		owners = append(owners, o)
 	}
 	sort.Ints(owners)
+	if len(owners) > 0 {
+		sp := e.cfg.Trace.Start("execute/fetchV", m.id, -1)
+		defer sp.End()
+	}
 	for _, owner := range owners {
 		vs := need[owner]
 		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
@@ -442,9 +451,11 @@ func (m *machine) fetchForeignPivots(st *groupState, round int, frontier []*etri
 		// DisableCache models a cacheless machine: every round pays the
 		// fetch again, so a cache hit is not taken.
 		if !e.cfg.DisableCache && st.view.pinCached(v) {
+			st.view.hits.Add(1)
 			st.logPin(v) // keep it resident past any cache drop
 			continue
 		}
+		st.view.misses.Add(1)
 		owner := int(e.part.Owner[v])
 		need[owner] = append(need[owner], v)
 	}
@@ -453,6 +464,10 @@ func (m *machine) fetchForeignPivots(st *groupState, round int, frontier []*etri
 		owners = append(owners, o)
 	}
 	sort.Ints(owners)
+	if len(owners) > 0 {
+		sp := e.cfg.Trace.Start("execute/fetchV", m.id, -1)
+		defer sp.End()
+	}
 	for _, owner := range owners {
 		vs := need[owner]
 		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
@@ -651,6 +666,10 @@ func (m *machine) verifyAndFilter(st *groupState) error {
 		owners = append(owners, o)
 	}
 	sort.Ints(owners)
+	if len(owners) > 0 {
+		sp := e.cfg.Trace.Start("execute/verifyE", m.id, -1)
+		defer sp.End()
+	}
 	for _, owner := range owners {
 		req := &cluster.VerifyERequest{Edges: byOwner[owner]}
 		resp, err := e.tr.Call(m.id, owner, req)

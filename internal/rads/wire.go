@@ -85,10 +85,27 @@ type RunQueryResponse struct {
 	// folds them into its per-query metrics.
 	CommBytes    int64
 	CommMessages int64
+
+	// PhaseNs is the machine's per-phase time aggregate in nanoseconds
+	// ("execute/sme", "execute/group", ...), folded into the
+	// coordinator's query trace so a cluster query profiles like an
+	// in-process one. Nil when the worker did not trace.
+	PhaseNs map[string]int64
+
+	// CacheHits/CacheMisses are the machine's adjacency-cache
+	// effectiveness over the query's fetch phases.
+	CacheHits   int64
+	CacheMisses int64
 }
 
-// ByteSize counts the fixed-width fields.
-func (r *RunQueryResponse) ByteSize() int { return 17*8 + 1 }
+// ByteSize counts the fixed-width fields plus the phase map payload.
+func (r *RunQueryResponse) ByteSize() int {
+	n := 19*8 + 1
+	for k := range r.PhaseNs {
+		n += len(k) + 8
+	}
+	return n
+}
 
 // MessageKind names the message for per-kind accounting.
 func (r *RunQueryResponse) MessageKind() string { return "runQuery" }

@@ -10,6 +10,7 @@ import (
 	"rads/internal/engine"
 	_ "rads/internal/engine/all" // register RADS and the baselines
 	"rads/internal/graph"
+	"rads/internal/obs"
 	"rads/internal/partition"
 	"rads/internal/pattern"
 )
@@ -27,6 +28,10 @@ type EngineRequest struct {
 	// OnEmbedding, when non-nil, must receive every embedding found.
 	// Engines that cannot stream must fail if it is set.
 	OnEmbedding func(machine int, f []graph.VertexID)
+	// Trace, when non-nil, receives the query's phase spans; engines
+	// that trace (RADS, the cluster coordinator) record into it and
+	// snapshot it into their result's Profile.
+	Trace *obs.Trace
 }
 
 // EngineResult is an engine's normalized answer.
@@ -43,6 +48,9 @@ type EngineResult struct {
 	// workers; for in-process engines the per-query MemBudget usually
 	// carries the same number.
 	PeakMemBytes int64
+	// Profile is the engine's execution profile when it traces (nil
+	// otherwise; the service synthesizes a minimal one).
+	Profile *obs.Profile
 }
 
 // EngineFunc runs one query. It must honour ctx where it can and be
@@ -83,6 +91,7 @@ func (s *Service) registryEngine(e engine.Engine) EngineFunc {
 			Metrics:     req.Metrics,
 			Budget:      req.Budget,
 			OnEmbedding: req.OnEmbedding,
+			Trace:       req.Trace,
 		}
 		if err := engine.ValidateRequest(e, ereq); err != nil {
 			return EngineResult{}, err
@@ -102,7 +111,8 @@ func (s *Service) registryEngine(e engine.Engine) EngineFunc {
 			return EngineResult{}, err
 		}
 		return EngineResult{Total: res.Total, Seconds: res.Seconds, OOM: res.OOM,
-			TreeNodes: res.TreeNodes, PeakMemBytes: res.PeakMemBytes}, nil
+			TreeNodes: res.TreeNodes, PeakMemBytes: res.PeakMemBytes,
+			Profile: res.Profile}, nil
 	}
 }
 

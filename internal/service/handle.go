@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rads/internal/graph"
+	"rads/internal/obs"
 	"rads/internal/pattern"
 )
 
@@ -27,6 +28,9 @@ type Query struct {
 
 // Result is the terminal outcome of a query.
 type Result struct {
+	// QueryID is the service-assigned id; /debug/trace?id= looks up
+	// the retained profile by it.
+	QueryID   uint64        `json:"query_id,omitempty"`
 	Pattern   string        `json:"pattern"`
 	Canonical string        `json:"canonical,omitempty"`
 	Engine    string        `json:"engine"`
@@ -38,6 +42,9 @@ type Result struct {
 	OOM       bool          `json:"oom,omitempty"`
 	CacheHit  bool          `json:"cache_hit"`
 	Queued    time.Duration `json:"-"`
+	// Profile is the run's execution profile (phase times, per-machine
+	// breakdown; nil for cache hits and pre-observability engines).
+	Profile *obs.Profile `json:"profile,omitempty"`
 }
 
 // Handle is the streamed result of a Submit: a query in flight. It
@@ -46,6 +53,7 @@ type Result struct {
 type Handle struct {
 	query  Query
 	engine string
+	id     uint64
 
 	emb  chan []graph.VertexID // non-nil iff query.Stream
 	done chan struct{}
@@ -64,6 +72,10 @@ func newHandle(q Query, engine string) *Handle {
 // Engine returns the resolved engine name serving this query (the
 // service default if the query named none).
 func (h *Handle) Engine() string { return h.engine }
+
+// ID returns the service-assigned query id, usable against
+// /debug/trace?id= while the profile is retained.
+func (h *Handle) ID() uint64 { return h.id }
 
 // Embeddings returns the stream of embeddings for a Stream query (each
 // slice indexed by query vertex). The channel closes when the query

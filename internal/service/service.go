@@ -41,6 +41,7 @@ import (
 	"rads/internal/cluster"
 	"rads/internal/engine"
 	"rads/internal/graph"
+	"rads/internal/obs"
 	"rads/internal/partition"
 )
 
@@ -85,6 +86,16 @@ type Config struct {
 	CacheEntries int
 	// DefaultEngine answers queries that don't name one (default RADS).
 	DefaultEngine string
+	// SlowQuery is the latency above which a completed query's profile
+	// is also kept in the slow-query ring and reported through
+	// OnSlowQuery (0 disables slow-query tracking).
+	SlowQuery time.Duration
+	// ProfileCap sizes the recent-profile and slow-query rings
+	// (default 128).
+	ProfileCap int
+	// OnSlowQuery, when set, is called synchronously with the profile
+	// of every query slower than SlowQuery (radserve logs these).
+	OnSlowQuery func(*obs.Profile)
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +116,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultEngine == "" {
 		c.DefaultEngine = "RADS"
+	}
+	if c.ProfileCap <= 0 {
+		c.ProfileCap = 128
 	}
 	return c
 }
@@ -137,10 +151,24 @@ type Service struct {
 	wg sync.WaitGroup // all query goroutines
 
 	// Cumulative communication across all served queries.
-	commBytes    atomic.Int64
-	commMessages atomic.Int64
-	kindMu       sync.Mutex
-	commByKind   map[string]int64
+	commBytes      atomic.Int64
+	commMessages   atomic.Int64
+	kindMu         sync.Mutex
+	commByKind     map[string]int64
+	commMsgsByKind map[string]int64
+
+	// Observability: a per-service registry (so several services in one
+	// process never collide), pre-resolved hot-path families, and the
+	// recent/slow profile rings behind /debug/trace.
+	reg             *obs.Registry
+	obsQueryLatency obs.HistogramVec // by engine
+	obsWaitLatency  *obs.Histogram
+	obsQueries      obs.CounterVec   // by outcome
+	obsTransport    obs.HistogramVec // by message kind
+	obsSteals       *obs.Counter
+	profiles        *obs.ProfileRing
+	slow            *obs.ProfileRing
+	queryIDs        atomic.Uint64
 
 	// Counters surfaced by Stats.
 	submitted   atomic.Int64
@@ -175,18 +203,22 @@ func OpenPartitioned(part *partition.Partition, cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	cfg.Machines = part.M
 	s := &Service{
-		cfg:        cfg,
-		part:       part,
-		start:      time.Now(),
-		edgeCut:    part.EdgeCut(),
-		balance:    part.Balance(),
-		sem:        make(chan struct{}, cfg.MaxConcurrent),
-		closing:    make(chan struct{}),
-		engines:    make(map[string]engineEntry),
-		cache:      newResultCache(cfg.CacheEntries),
-		artifacts:  engine.NewArtifactCache(0),
-		commByKind: make(map[string]int64),
+		cfg:            cfg,
+		part:           part,
+		start:          time.Now(),
+		edgeCut:        part.EdgeCut(),
+		balance:        part.Balance(),
+		sem:            make(chan struct{}, cfg.MaxConcurrent),
+		closing:        make(chan struct{}),
+		engines:        make(map[string]engineEntry),
+		cache:          newResultCache(cfg.CacheEntries),
+		artifacts:      engine.NewArtifactCache(0),
+		commByKind:     make(map[string]int64),
+		commMsgsByKind: make(map[string]int64),
+		profiles:       obs.NewProfileRing(cfg.ProfileCap),
+		slow:           obs.NewProfileRing(cfg.ProfileCap),
 	}
+	s.initObs()
 	registerDefaultEngines(s)
 	// Warm the resident state: border distances are query-independent,
 	// so pay each machine's BFS now instead of inside the first query.
@@ -194,6 +226,87 @@ func OpenPartitioned(part *partition.Partition, cfg Config) (*Service, error) {
 		part.BorderDistances(t)
 	}
 	return s, nil
+}
+
+// initObs builds the service's metrics registry. Write-path families
+// (latencies, outcome counters) are pre-resolved; everything already
+// counted by an existing atomic — cache hits, comm bytes, kernel
+// selections — surfaces through polled families read at scrape time,
+// so the query path pays nothing extra for them.
+func (s *Service) initObs() {
+	reg := obs.NewRegistry()
+	s.reg = reg
+	s.obsQueryLatency = reg.HistogramVec("rads_query_seconds",
+		"Query execution latency by engine.", "engine", nil)
+	s.obsWaitLatency = reg.Histogram("rads_admission_wait_seconds",
+		"Time queries waited in the admission queue before running.", nil)
+	s.obsQueries = reg.CounterVec("rads_queries_total",
+		"Queries finished by outcome.", "outcome")
+	s.obsTransport = reg.HistogramVec("rads_transport_latency_seconds",
+		"Machine-to-machine exchange latency by message kind.", "kind", nil)
+	s.obsSteals = reg.Counter("rads_steals_total",
+		"Region groups stolen via shareR across all queries.")
+	reg.CounterFunc("rads_cache_hits_total",
+		"Result-cache hits.", s.cacheHits.Load)
+	reg.CounterFunc("rads_cache_misses_total",
+		"Result-cache misses.", s.cacheMisses.Load)
+	reg.CounterFunc("rads_tree_nodes_total",
+		"Successful partial matches (search-tree nodes) across all runs.",
+		s.treeNodes.Load)
+	reg.GaugeFunc("rads_queries_running",
+		"Queries currently executing.", func() float64 {
+			return float64(s.running.Load())
+		})
+	reg.GaugeFunc("rads_queries_queued",
+		"Queries waiting for an admission slot.", func() float64 {
+			return float64(s.queued.Load())
+		})
+	reg.CounterVecFunc("rads_transport_bytes_total",
+		"Simulated network bytes by message kind.", "kind", func() map[string]int64 {
+			s.kindMu.Lock()
+			defer s.kindMu.Unlock()
+			out := make(map[string]int64, len(s.commByKind))
+			for k, v := range s.commByKind {
+				out[k] = v
+			}
+			return out
+		})
+	reg.CounterVecFunc("rads_transport_messages_total",
+		"Simulated network messages by message kind.", "kind", func() map[string]int64 {
+			s.kindMu.Lock()
+			defer s.kindMu.Unlock()
+			out := make(map[string]int64, len(s.commMsgsByKind))
+			for k, v := range s.commMsgsByKind {
+				out[k] = v
+			}
+			return out
+		})
+	// Kernel counters are process-wide (the intersection kernels have no
+	// per-query identity); serving processes turn counting on and expose
+	// the totals.
+	graph.SetKernelCounting(true)
+	reg.CounterVecFunc("rads_kernel_selections_total",
+		"Adaptive intersection kernel selections.", "kernel", graph.KernelCounts)
+}
+
+// Metrics exposes the service's metrics registry (radserve mounts it
+// at /metrics).
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// RecentProfiles returns up to n recent query profiles, newest first.
+func (s *Service) RecentProfiles(n int) []*obs.Profile { return s.profiles.Recent(n) }
+
+// SlowProfiles returns up to n slow-query profiles, newest first
+// (empty unless Config.SlowQuery is set).
+func (s *Service) SlowProfiles(n int) []*obs.Profile { return s.slow.Recent(n) }
+
+// FindProfile returns the retained profile of query id, or nil if it
+// has aged out of both rings.
+func (s *Service) FindProfile(id uint64) *obs.Profile {
+	if p := s.profiles.Find(id); p != nil {
+		return p
+	}
+	return s.slow.Find(id)
 }
 
 // Partition exposes the resident partition (read-only by convention).
@@ -289,6 +402,7 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Handle, error) {
 	s.submitted.Add(1)
 
 	h := newHandle(q, engineName)
+	h.id = s.queryIDs.Add(1)
 
 	// Fast path: answered motif under any labeling. Streaming queries
 	// skip the cache — embeddings are not cached, only counts. The
@@ -303,6 +417,10 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Handle, error) {
 			res.Pattern = q.Pattern.Name
 			res.CacheHit = true
 			res.Queued = 0 // this request never queued; don't echo the original run's wait
+			s.recordProfile(&obs.Profile{
+				ID: h.id, Query: q.Pattern.Name, Engine: res.Engine, CacheHit: true,
+			}, 0)
+			s.obsQueries.With("cache_hit").Inc()
 			h.complete(res)
 			return h, nil
 		}
@@ -372,6 +490,7 @@ func (s *Service) serve(ctx context.Context, h *Handle, fn EngineFunc, key strin
 		<-s.sem
 	}()
 	queuedFor := time.Since(enqueued)
+	s.obsWaitLatency.Observe(queuedFor.Seconds())
 
 	// Re-check the cache: an identical motif may have completed while
 	// this query waited in the queue. This lookup supersedes the miss
@@ -385,16 +504,28 @@ func (s *Service) serve(ctx context.Context, h *Handle, fn EngineFunc, key strin
 			res.Pattern = h.query.Pattern.Name
 			res.CacheHit = true
 			res.Queued = queuedFor
+			s.recordProfile(&obs.Profile{
+				ID: h.id, Query: h.query.Pattern.Name, Engine: res.Engine,
+				CacheHit: true, QueuedSeconds: queuedFor.Seconds(),
+			}, 0)
+			s.obsQueries.With("cache_hit").Inc()
 			h.complete(res)
 			return
 		}
 	}
 
+	trace := obs.NewTrace()
 	req := EngineRequest{
 		Part:    s.part,
 		Pattern: h.query.Pattern,
 		Metrics: cluster.NewMetrics(s.part.M),
+		Trace:   trace,
 	}
+	// Per-kind exchange latencies flow straight into the shared
+	// histogram family; installed before the engine builds transports.
+	req.Metrics.SetLatencyObserver(func(kind string, seconds float64) {
+		s.obsTransport.With(kind).Observe(seconds)
+	})
 	if s.cfg.QueryBudgetBytes > 0 {
 		req.Budget = cluster.NewMemBudget(s.part.M, s.cfg.QueryBudgetBytes)
 	}
@@ -409,19 +540,49 @@ func (s *Service) serve(ctx context.Context, h *Handle, fn EngineFunc, key strin
 	}
 
 	s.engineRuns.Add(1)
+	began := time.Now()
 	res, err := fn(ctx, req)
+	elapsed := time.Since(began)
 	s.accountComm(req.Metrics)
 	if err != nil {
 		// A context cancellation is the client's doing (disconnect or
 		// deliberate stream truncation), not a service failure.
+		outcome := "error"
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.cancelled.Add(1)
+			outcome = "cancelled"
 		} else {
 			s.failed.Add(1)
 		}
+		s.obsQueries.With(outcome).Inc()
+		s.obsQueryLatency.With(h.engine).Observe(elapsed.Seconds())
+		prof := trace.Snapshot(elapsed)
+		prof.ID, prof.Query, prof.Engine = h.id, h.query.Pattern.Name, h.engine
+		prof.QueuedSeconds = queuedFor.Seconds()
+		prof.Error = err.Error()
+		s.recordProfile(prof, elapsed)
 		h.fail(fmt.Errorf("service: engine %s on %s: %w", h.engine, h.query.Pattern.Name, err))
 		return
 	}
+
+	// Finish the profile: engines that trace hand one back built from
+	// the shared trace; for everything else the run is a single opaque
+	// "execute" phase so every profile accounts its wall time.
+	prof := res.Profile
+	if prof == nil {
+		trace.AddPhase("execute", -1, elapsed)
+		prof = trace.Snapshot(elapsed)
+	}
+	prof.ID, prof.Query, prof.Engine = h.id, h.query.Pattern.Name, h.engine
+	prof.QueuedSeconds = queuedFor.Seconds()
+	if res.OOM {
+		s.obsQueries.With("oom").Inc()
+	} else {
+		s.obsQueries.With("ok").Inc()
+	}
+	s.obsQueryLatency.With(h.engine).Observe(res.Seconds)
+	s.obsSteals.Add(int64(prof.Steals))
+	s.recordProfile(prof, elapsed)
 
 	s.treeNodes.Add(res.TreeNodes)
 	out := Result{
@@ -448,11 +609,30 @@ func (s *Service) serve(ctx context.Context, h *Handle, fn EngineFunc, key strin
 	}
 	// Cache completed counts only: an OOM verdict depends on the
 	// budget, not the pattern, and streams were never materialized.
+	// The cached copy drops the profile — it describes this run, not
+	// the future requests the cache will answer.
 	if key != "" && !res.OOM {
 		s.cache.put(key, out)
 	}
+	out.QueryID = h.id
+	out.Profile = prof
 	s.completed.Add(1)
 	h.complete(out)
+}
+
+// recordProfile retains a finished query's profile in the recent ring
+// and, past the slow-query threshold, in the slow ring + callback.
+func (s *Service) recordProfile(p *obs.Profile, elapsed time.Duration) {
+	if p == nil {
+		return
+	}
+	s.profiles.Append(p)
+	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+		s.slow.Append(p)
+		if s.cfg.OnSlowQuery != nil {
+			s.cfg.OnSlowQuery(p)
+		}
+	}
 }
 
 func (s *Service) accountComm(m *cluster.Metrics) {
@@ -464,6 +644,9 @@ func (s *Service) accountComm(m *cluster.Metrics) {
 	s.kindMu.Lock()
 	for k, v := range m.ByKind() {
 		s.commByKind[k] += v
+	}
+	for k, v := range m.MessagesByKind() {
+		s.commMsgsByKind[k] += v
 	}
 	s.kindMu.Unlock()
 }
@@ -517,9 +700,10 @@ type Stats struct {
 	ArtifactsCached int   `json:"artifacts_cached"`
 	ArtifactBytes   int64 `json:"artifact_bytes"`
 
-	CommBytes    int64            `json:"comm_bytes"`
-	CommMessages int64            `json:"comm_messages"`
-	CommByKind   map[string]int64 `json:"comm_by_kind,omitempty"`
+	CommBytes      int64            `json:"comm_bytes"`
+	CommMessages   int64            `json:"comm_messages"`
+	CommByKind     map[string]int64 `json:"comm_by_kind,omitempty"`
+	CommMsgsByKind map[string]int64 `json:"comm_msgs_by_kind,omitempty"`
 
 	Engines []string `json:"engines"`
 }
@@ -547,10 +731,14 @@ func (s *Service) Stats() Stats {
 		CommBytes:      s.commBytes.Load(),
 		CommMessages:   s.commMessages.Load(),
 		CommByKind:     make(map[string]int64),
+		CommMsgsByKind: make(map[string]int64),
 	}
 	s.kindMu.Lock()
 	for k, v := range s.commByKind {
 		st.CommByKind[k] += v
+	}
+	for k, v := range s.commMsgsByKind {
+		st.CommMsgsByKind[k] += v
 	}
 	s.kindMu.Unlock()
 	st.ArtifactsCached = s.artifacts.Len()

@@ -27,6 +27,7 @@ PORT_BASE=${SMOKE_PORT_BASE:-19400}
 ADDR="127.0.0.1:$PORT_BASE"
 W1="127.0.0.1:$((PORT_BASE + 1))"
 W2="127.0.0.1:$((PORT_BASE + 2))"
+W1DBG="127.0.0.1:$((PORT_BASE + 3))"
 
 echo "== build"
 go build -o "$TMP/bin/" ./cmd/radserve ./cmd/radsworker
@@ -41,7 +42,7 @@ EOF
 
 echo "== start two radsworker processes"
 "$TMP/bin/radsworker" -spec "$TMP/spec.json" -snapshot "$TMP/snap" \
-    -machines 0,1 >"$TMP/worker1.log" 2>&1 &
+    -machines 0,1 -debug-addr "$W1DBG" >"$TMP/worker1.log" 2>&1 &
 PIDS+=($!)
 "$TMP/bin/radsworker" -spec "$TMP/spec.json" -snapshot "$TMP/snap" \
     -machines 2,3 >"$TMP/worker2.log" 2>&1 &
@@ -93,6 +94,59 @@ if [ "$remote_bytes" -le 0 ]; then
     exit 1
 fi
 echo "   remote comm: $remote_bytes bytes"
+
+echo "== observability: /metrics on the coordinator"
+metrics=$(curl -fs "http://$ADDR/metrics")
+for family in \
+    'rads_query_seconds_count{engine="RADS"}' \
+    'rads_admission_wait_seconds_count' \
+    'rads_queries_total{outcome="ok"}' \
+    'rads_cache_hits_total' \
+    'rads_cache_misses_total' \
+    'rads_transport_bytes_total{kind=' \
+    'rads_transport_latency_seconds_count{kind=' \
+    'rads_steals_total'; do
+    if ! grep -qF "$family" <<<"$metrics"; then
+        echo "FAIL: coordinator /metrics missing $family"
+        echo "$metrics"; exit 1
+    fi
+done
+
+echo "== observability: /metrics and /healthz on worker 1"
+wmetrics=$(curl -fs "http://$W1DBG/metrics")
+for family in \
+    'rads_query_seconds_count{engine="RADS"}' \
+    'rads_admission_wait_seconds_count' \
+    'rads_handle_seconds_count{kind="runQuery"}' \
+    'rads_transport_bytes_total{kind=' \
+    'rads_cache_hits_total' \
+    'rads_steals_total'; do
+    if ! grep -qF "$family" <<<"$wmetrics"; then
+        echo "FAIL: worker /metrics missing $family"
+        echo "$wmetrics"; exit 1
+    fi
+done
+health=$(curl -fs "http://$W1DBG/healthz")
+python3 - "$health" <<'EOF'
+import json, sys
+h = json.loads(sys.argv[1])
+assert h["ready"] is True, h
+assert h["machines"] == [0, 1], h
+assert len(h["snapshot_fingerprint"]) == 16, h
+EOF
+echo "   worker healthz: $health"
+
+echo "== observability: /debug/trace lists the served queries"
+traces=$(curl -fs "http://$ADDR/debug/trace")
+python3 - "$traces" <<'EOF'
+import json, sys
+t = json.loads(sys.argv[1])
+recent = t.get("recent") or []
+assert recent, "no recent profiles in /debug/trace"
+p = recent[0]
+assert p.get("wall_seconds", 0) > 0 or p.get("cache_hit"), p
+EOF
+echo "   recent profiles present"
 
 echo "== restart radserve: first query must be warm (no re-partitioning)"
 kill "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
