@@ -62,6 +62,7 @@ import (
 	"rads/internal/engine"
 	"rads/internal/graph"
 	"rads/internal/harness"
+	"rads/internal/jobs"
 	"rads/internal/obs"
 	"rads/internal/partition"
 	"rads/internal/pattern"
@@ -91,6 +92,9 @@ type options struct {
 
 	slowQuery time.Duration
 	debugAddr string
+
+	jobsConcurrent int
+	jobsQueued     int
 }
 
 func main() {
@@ -112,6 +116,8 @@ func main() {
 	flag.DurationVar(&o.waitFor, "wait-workers", 30*time.Second, "how long to wait for cluster workers at startup")
 	flag.DurationVar(&o.slowQuery, "slow-query", 0, "log queries slower than this and keep their profiles in the slow ring (0 disables)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "optional second listener serving /metrics, /healthz and /debug/pprof")
+	flag.IntVar(&o.jobsConcurrent, "jobs-concurrent", 1, "batch jobs (motif census) running at once")
+	flag.IntVar(&o.jobsQueued, "jobs-queued", 16, "batch jobs waiting before 503")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "radserve:", err)
@@ -269,7 +275,19 @@ func run(o options) error {
 	log.Printf("resident: %d machines, edge cut %d, balance %.3f, warmed in %v",
 		part.M, part.EdgeCut(), part.Balance(), time.Since(start).Round(time.Millisecond))
 
-	srv := &http.Server{Addr: o.addr, Handler: newMux(svc)}
+	// The job plane: long-running motif-census work beside the
+	// interactive query path, with its own admission cap.
+	source := o.dataset
+	if o.graphFile != "" {
+		source = o.graphFile
+	}
+	js := newJobsServer(svc, source, jobs.Config{
+		MaxConcurrent: o.jobsConcurrent,
+		MaxQueued:     o.jobsQueued,
+	})
+	defer js.Close()
+
+	srv := &http.Server{Addr: o.addr, Handler: newMux(svc, js)}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", o.addr)
@@ -298,6 +316,10 @@ func run(o options) error {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	srv.Shutdown(shutCtx)
+	// Cancel running jobs and wait for their runners to unwind — their
+	// final checkpoints persist and the jobs report cancelled, so a
+	// restart tells clients the truth about interrupted work.
+	js.Close()
 	// Persist prepared artifacts so the next boot answers warm.
 	if o.snapDir != "" {
 		if arts := svc.Artifacts().Export(); len(arts) > 0 {
@@ -311,11 +333,14 @@ func run(o options) error {
 	return nil
 }
 
-// newMux wires the HTTP surface over a service; split out so tests can
-// drive it through httptest.
-func newMux(svc *service.Service) *http.ServeMux {
+// newMux wires the HTTP surface over a service and a job plane; split
+// out so tests can drive it through httptest.
+func newMux(svc *service.Service, js *jobsServer) *http.ServeMux {
 	s := &server{svc: svc}
 	mux := http.NewServeMux()
+	if js != nil {
+		js.register(mux)
+	}
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/engines", s.handleEngines)
 	mux.HandleFunc("/stats", s.handleStats)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"rads/internal/gen"
+	"rads/internal/jobs"
 	"rads/internal/localenum"
 	"rads/internal/pattern"
 	"rads/internal/service"
@@ -26,9 +27,11 @@ func newTestServer(t *testing.T) (*httptest.Server, *service.Service, int64) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(svc))
+	js := newJobsServer(svc, "test", jobs.Config{})
+	ts := httptest.NewServer(newMux(svc, js))
 	t.Cleanup(func() {
 		ts.Close()
+		js.Close()
 		svc.Close()
 	})
 	return ts, svc, localenum.Count(g, pattern.Triangle(), localenum.Options{})
@@ -321,7 +324,7 @@ func TestOverloadReturns503(t *testing.T) {
 		<-release
 		return service.EngineResult{}, nil
 	})
-	ts := httptest.NewServer(newMux(svc))
+	ts := httptest.NewServer(newMux(svc, nil))
 	defer ts.Close()
 	defer close(release)
 

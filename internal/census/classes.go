@@ -1,0 +1,49 @@
+package census
+
+import (
+	"sync"
+
+	"rads/internal/pattern"
+)
+
+// classNames maps the canonical keys of the small classes every census
+// consumer recognizes to human names: all connected classes on up to 4
+// vertices plus a few 5-vertex landmarks. Built lazily from the
+// pattern constructors so the names can never drift from
+// pattern.CanonicalKey's encoding.
+var classNames = struct {
+	once sync.Once
+	m    map[string]string
+}{}
+
+func buildClassNames() map[string]string {
+	named := []*pattern.Pattern{
+		pattern.New("vertex", 1),
+		pattern.New("edge", 2, 0, 1),
+		pattern.New("wedge", 3, 0, 1, 1, 2),
+		pattern.New("triangle", 3, 0, 1, 1, 2, 2, 0),
+		pattern.New("path4", 4, 0, 1, 1, 2, 2, 3),
+		pattern.New("star4", 4, 0, 1, 0, 2, 0, 3),
+		pattern.New("cycle4", 4, 0, 1, 1, 2, 2, 3, 3, 0),
+		pattern.New("paw", 4, 0, 1, 1, 2, 2, 0, 2, 3),
+		pattern.New("diamond", 4, 0, 1, 1, 2, 2, 0, 0, 3, 2, 3),
+		pattern.New("clique4", 4, 0, 1, 0, 2, 0, 3, 1, 2, 1, 3, 2, 3),
+		pattern.New("path5", 5, 0, 1, 1, 2, 2, 3, 3, 4),
+		pattern.New("cycle5", 5, 0, 1, 1, 2, 2, 3, 3, 4, 4, 0),
+		pattern.New("star5", 5, 0, 1, 0, 2, 0, 3, 0, 4),
+		pattern.New("clique5", 5, 0, 1, 0, 2, 0, 3, 0, 4, 1, 2, 1, 3, 1, 4, 2, 3, 2, 4, 3, 4),
+	}
+	m := make(map[string]string, len(named))
+	for _, p := range named {
+		m[p.CanonicalKey()] = p.Name
+	}
+	return m
+}
+
+// ClassName returns a human-readable name for a canonical class key
+// ("triangle", "paw", "clique4", ...) or "" when the class has no
+// agreed name — callers fall back to the key itself.
+func ClassName(key string) string {
+	classNames.once.Do(func() { classNames.m = buildClassNames() })
+	return classNames.m[key]
+}

@@ -1,0 +1,493 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rads/internal/obs"
+)
+
+// waitState polls until the job reaches want or the deadline passes.
+func waitState(t *testing.T, j *Job, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.Snapshot().State == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %d stuck in %q, want %q", j.ID(), j.Snapshot().State, want)
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("job %d never finished", j.ID())
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+
+	j, err := m.Submit("census", "k=3", func(ctx context.Context, up *Update) (any, error) {
+		up.Progress(Progress{VerticesDone: 5, TotalVertices: 10, SubgraphsSeen: 40})
+		up.Checkpoint(map[string]int64{"3:110": 20})
+		up.Progress(Progress{VerticesDone: 10, TotalVertices: 10, SubgraphsSeen: 99})
+		return "final", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	st := j.Snapshot()
+	if st.State != StateCompleted {
+		t.Fatalf("state %q, want completed", st.State)
+	}
+	if st.Progress.VerticesDone != 10 || st.Progress.SubgraphsSeen != 99 {
+		t.Errorf("progress %+v not the final report", st.Progress)
+	}
+	if st.Fraction != 1 {
+		t.Errorf("fraction %v, want 1", st.Fraction)
+	}
+	if st.Checkpoints != 1 {
+		t.Errorf("checkpoints %d, want 1", st.Checkpoints)
+	}
+	if st.Profile == nil {
+		t.Error("terminal job has no profile")
+	}
+
+	out, ok := j.Result()
+	if !ok {
+		t.Fatal("terminal job has no result")
+	}
+	if out.Value != "final" || out.Partial || out.Err != nil {
+		t.Errorf("outcome %+v, want final/complete", out)
+	}
+
+	s := m.Stats()
+	if s.Submitted != 1 || s.Completed != 1 || s.ItemsSeen != 99 || s.Checkpoints != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+// TestResultUnavailableWhileRunning pins the 409-shaped contract the
+// HTTP layer builds on: Result reports ok=false until terminal.
+func TestResultUnavailableWhileRunning(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	release := make(chan struct{})
+	j, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) {
+		<-release
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning)
+	if _, ok := j.Result(); ok {
+		t.Error("running job must not expose a result")
+	}
+	close(release)
+	waitDone(t, j)
+	if _, ok := j.Result(); !ok {
+		t.Error("completed job must expose a result")
+	}
+}
+
+func TestConcurrencyCapAndQueue(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, MaxQueued: 1})
+	defer m.Close()
+
+	release := make(chan struct{})
+	var concurrent, peak atomic.Int64
+	run := func(ctx context.Context, up *Update) (any, error) {
+		c := concurrent.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		defer concurrent.Add(-1)
+		select {
+		case <-release:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	j1, err := m.Submit("census", "first", run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j1, StateRunning)
+	j2, err := m.Submit("census", "second", run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j2.Snapshot().State; st != StateQueued {
+		t.Fatalf("second job %q, want queued behind the cap", st)
+	}
+	// Queue holds one; a third submission must be rejected fast.
+	if _, err := m.Submit("census", "third", run); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third submit err = %v, want ErrOverloaded", err)
+	}
+	if m.Stats().Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", m.Stats().Rejected)
+	}
+
+	close(release)
+	waitDone(t, j1)
+	waitDone(t, j2)
+	if got := peak.Load(); got != 1 {
+		t.Errorf("observed %d concurrent runners, cap is 1", got)
+	}
+	if j2.Snapshot().State != StateCompleted {
+		t.Errorf("queued job ended %q, want completed", j2.Snapshot().State)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	defer m.Close()
+	release := make(chan struct{})
+	defer close(release)
+	blocker, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, StateRunning)
+
+	ran := false
+	queued, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) {
+		ran = true
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, queued)
+	if st := queued.Snapshot().State; st != StateCancelled {
+		t.Errorf("cancelled-while-queued job ended %q", st)
+	}
+	if ran {
+		t.Error("cancelled queued job must never run")
+	}
+	if m.Stats().Queued != 0 {
+		t.Errorf("queued gauge %d after cancel, want 0", m.Stats().Queued)
+	}
+}
+
+func TestCancelRunningKeepsPartialCheckpoint(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	j, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) {
+		up.Progress(Progress{VerticesDone: 3, TotalVertices: 10, SubgraphsSeen: 7})
+		up.Checkpoint(map[string]int64{"3:110": 7})
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning)
+	// Let the runner reach its checkpoint before cancelling.
+	for j.Snapshot().Checkpoints == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	out, ok := j.Result()
+	if !ok || out.State != StateCancelled {
+		t.Fatalf("outcome %+v ok=%v, want cancelled", out, ok)
+	}
+	if !out.Partial {
+		t.Error("cancelled outcome must be marked partial")
+	}
+	h, ok := out.Value.(map[string]int64)
+	if !ok || h["3:110"] != 7 {
+		t.Errorf("partial value %v, want the checkpointed histogram", out.Value)
+	}
+	if !errors.Is(out.Err, context.Canceled) {
+		t.Errorf("outcome err %v", out.Err)
+	}
+}
+
+// TestCancelledRunnerReturningPartial covers the census shape: Run
+// returns (partialResult, ctx.Err()) — the returned partial must win
+// over the last periodic checkpoint.
+func TestCancelledRunnerReturningPartial(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	j, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) {
+		up.Checkpoint("stale")
+		<-ctx.Done()
+		return "fresh", ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning)
+	m.Cancel(j.ID())
+	waitDone(t, j)
+	out, _ := j.Result()
+	if out.Value != "fresh" || !out.Partial {
+		t.Errorf("outcome %+v, want the runner's returned partial", out)
+	}
+}
+
+func TestFailedJob(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	boom := errors.New("boom")
+	j, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) {
+		return nil, boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	st := j.Snapshot()
+	if st.State != StateFailed || st.Error != "boom" {
+		t.Errorf("status %+v, want failed/boom", st)
+	}
+	if m.Stats().Failed != 1 {
+		t.Errorf("failed counter %d", m.Stats().Failed)
+	}
+}
+
+// TestMonotonicProgress feeds regressing updates and expects the
+// observable progress to be clamped.
+func TestMonotonicProgress(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	j, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) {
+		up.Progress(Progress{VerticesDone: 8, TotalVertices: 10, SubgraphsSeen: 50, ElapsedSeconds: 2})
+		up.Progress(Progress{VerticesDone: 3, TotalVertices: 10, SubgraphsSeen: 20, ElapsedSeconds: 1})
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	p := j.Snapshot().Progress
+	if p.VerticesDone != 8 || p.SubgraphsSeen != 50 || p.ElapsedSeconds != 2 {
+		t.Errorf("progress regressed to %+v", p)
+	}
+	// The items counter must count each subgraph once, not re-add the
+	// regressed report.
+	if m.Stats().ItemsSeen != 50 {
+		t.Errorf("items seen %d, want 50", m.Stats().ItemsSeen)
+	}
+}
+
+// TestCloseCancelsEverything is the graceful-shutdown contract: Close
+// cancels queued and running jobs, persists their partials, and does
+// not leak the runner goroutines.
+func TestCloseCancelsEverything(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	m := NewManager(Config{MaxConcurrent: 1})
+	running, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) {
+		up.Checkpoint("partial-at-shutdown")
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	queued, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) {
+		t.Error("queued job ran during shutdown")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() { m.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung")
+	}
+
+	if st := running.Snapshot().State; st != StateCancelled {
+		t.Errorf("running job ended %q after Close, want cancelled", st)
+	}
+	if out, ok := running.Result(); !ok || out.Value != "partial-at-shutdown" {
+		t.Errorf("shutdown lost the checkpoint: %+v ok=%v", out, ok)
+	}
+	if st := queued.Snapshot().State; st != StateCancelled {
+		t.Errorf("queued job ended %q after Close, want cancelled", st)
+	}
+	if _, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) {
+		return nil, nil
+	}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after Close err = %v, want ErrClosed", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+
+	// Goroutine-leak assertion: allow the runtime a moment to retire
+	// the unwound runners.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines %d before, %d after Close", before, runtime.NumGoroutine())
+}
+
+func TestRetainEvictsOldTerminalJobs(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, Retain: 3})
+	defer m.Close()
+	var last *Job
+	for i := 0; i < 6; i++ {
+		j, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) {
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+		last = j
+	}
+	if got := len(m.List()); got > 3 {
+		t.Errorf("retained %d jobs, cap 3", got)
+	}
+	if _, ok := m.Get(last.ID()); !ok {
+		t.Error("newest job evicted")
+	}
+	if _, ok := m.Get(1); ok {
+		t.Error("oldest job not evicted")
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 4})
+	defer m.Close()
+	for i := 0; i < 3; i++ {
+		j, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+	}
+	lst := m.List()
+	if len(lst) != 3 {
+		t.Fatalf("list length %d", len(lst))
+	}
+	for i := 1; i < len(lst); i++ {
+		if lst[i].ID > lst[i-1].ID {
+			t.Fatalf("list not newest-first: %v", []uint64{lst[i-1].ID, lst[i].ID})
+		}
+	}
+}
+
+func TestCancelUnknownJob(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	if err := m.Cancel(42); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestJobTraceProfile(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	j, err := m.Submit("census", "k=4 karate", func(ctx context.Context, up *Update) (any, error) {
+		sp := up.Trace().Start("enumerate", -1, 0)
+		time.Sleep(2 * time.Millisecond)
+		sp.End()
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	st := j.Snapshot()
+	if st.Profile == nil {
+		t.Fatal("no profile on terminal job")
+	}
+	if st.Profile.Phase("enumerate") <= 0 {
+		t.Errorf("profile lacks the enumerate phase: %+v", st.Profile.Phases)
+	}
+	if st.Profile.Engine != "census" || st.Profile.Query != "k=4 karate" {
+		t.Errorf("profile attribution %q/%q", st.Profile.Engine, st.Profile.Query)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	reg := obs.NewRegistry()
+	m.RegisterMetrics(reg)
+
+	j, err := m.Submit("census", "", func(ctx context.Context, up *Update) (any, error) {
+		up.Progress(Progress{VerticesDone: 10, TotalVertices: 10, SubgraphsSeen: 123, ElapsedSeconds: 0.5})
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"rads_jobs_submitted_total 1",
+		`rads_jobs_total{outcome="completed"} 1`,
+		`rads_jobs_total{outcome="cancelled"} 0`,
+		`rads_jobs_total{outcome="failed"} 0`,
+		"rads_jobs_running 0",
+		"rads_jobs_queued 0",
+		"rads_job_progress 0",
+		"rads_jobs_rejected_total 0",
+		"rads_job_checkpoints_total 0",
+		"rads_census_subgraphs_total 123",
+		"rads_census_subgraphs_per_second 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	if _, err := m.Submit("", "", func(ctx context.Context, up *Update) (any, error) { return nil, nil }); err == nil {
+		t.Error("empty kind accepted")
+	}
+	if _, err := m.Submit("census", "", nil); err == nil {
+		t.Error("nil runner accepted")
+	}
+}

@@ -98,6 +98,49 @@ func TestCanonicalKeyRandomAgainstIsomorphism(t *testing.T) {
 	}
 }
 
+// TestCanonicalKeyFourVertexClasses enumerates all 11 isomorphism
+// classes of graphs on 4 vertices and checks the keys are pairwise
+// distinct while random relabelings of each class collapse to its key
+// — the exactness contract the motif census histogram rests on.
+func TestCanonicalKeyFourVertexClasses(t *testing.T) {
+	classes := []*Pattern{
+		New("empty4", 4),
+		New("edge+2iso", 4, 0, 1),
+		New("matching", 4, 0, 1, 2, 3),
+		New("wedge+iso", 4, 0, 1, 1, 2),
+		New("triangle+iso", 4, 0, 1, 1, 2, 2, 0),
+		New("path4", 4, 0, 1, 1, 2, 2, 3),
+		New("star4", 4, 0, 1, 0, 2, 0, 3),
+		New("cycle4", 4, 0, 1, 1, 2, 2, 3, 3, 0),
+		New("paw", 4, 0, 1, 1, 2, 2, 0, 2, 3),
+		New("diamond", 4, 0, 1, 1, 2, 2, 0, 0, 3, 2, 3),
+		New("clique4", 4, 0, 1, 0, 2, 0, 3, 1, 2, 1, 3, 2, 3),
+	}
+	if len(classes) != 11 {
+		t.Fatalf("expected the 11 four-vertex classes, listed %d", len(classes))
+	}
+	keys := make(map[string]string, len(classes))
+	for _, p := range classes {
+		key := p.CanonicalKey()
+		if prev, dup := keys[key]; dup {
+			t.Errorf("%s and %s collide on key %q", prev, p.Name, key)
+		}
+		keys[key] = p.Name
+	}
+	if len(keys) != 11 {
+		t.Fatalf("%d distinct keys for 11 classes", len(keys))
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range classes {
+		want := p.CanonicalKey()
+		for trial := 0; trial < 8; trial++ {
+			if got := relabel(p, rng).CanonicalKey(); got != want {
+				t.Errorf("%s: relabeling changed key %q -> %q", p.Name, want, got)
+			}
+		}
+	}
+}
+
 func TestCanonicalKeyHeavySymmetry(t *testing.T) {
 	// Twin elimination must keep stars and cliques from exploding.
 	for _, p := range []*Pattern{Star(40), CompleteGraph(9), CompleteBipartite(5, 5)} {

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Census smoke: end-to-end motif-census job over HTTP.
+#
+#   1. radsprep ingests the committed karate-club fixture into a
+#      registry; radserve serves it from the CSR store.
+#   2. POST /jobs submits a census k=4 job; the script polls
+#      GET /jobs/{id} to completion, checking progress never regresses.
+#   3. GET /jobs/{id}/result must match the golden karate histogram
+#      (the same counts pinned in internal/census golden tests and
+#      verified against the brute-force oracle).
+#   4. The NDJSON result format and the job metrics families on
+#      /metrics are asserted.
+#
+# CI runs this; it also works locally: ./scripts/census_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+PORT_BASE=${SMOKE_PORT_BASE:-19500}
+ADDR="127.0.0.1:$PORT_BASE"
+
+echo "== build"
+go build -o "$TMP/bin/" ./cmd/radserve ./cmd/radsprep
+
+echo "== ingest karate fixture"
+"$TMP/bin/radsprep" ingest internal/dataset/testdata/karate.txt \
+    -o "$TMP/reg/karate.radsgraph" -name karate -registry "$TMP/reg"
+
+echo "== start radserve on the ingested dataset"
+"$TMP/bin/radserve" -addr "$ADDR" -registry "$TMP/reg" -dataset karate \
+    -machines 2 >"$TMP/serve.log" 2>&1 &
+PIDS+=($!)
+for _ in $(seq 1 100); do
+    if curl -fs "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+curl -fs "http://$ADDR/healthz" >/dev/null || { cat "$TMP/serve.log"; exit 1; }
+
+echo "== submit census k=4 job"
+submit=$(curl -fs -X POST "http://$ADDR/jobs" \
+    -d '{"kind":"census","size":4,"dataset":"karate"}')
+id=$(python3 -c 'import json,sys; print(json.loads(sys.argv[1])["id"])' "$submit")
+echo "   job id $id: $submit"
+
+echo "== poll to completion (progress must be monotonic)"
+state=$(python3 - "$ADDR" "$id" <<'EOF'
+import json, sys, time, urllib.request
+addr, jid = sys.argv[1], sys.argv[2]
+last_done = last_seen = -1
+deadline = time.time() + 60
+while time.time() < deadline:
+    with urllib.request.urlopen(f"http://{addr}/jobs/{jid}") as r:
+        st = json.load(r)
+    p = st["progress"]
+    assert p["vertices_done"] >= last_done, (p, last_done)
+    assert p["subgraphs_seen"] >= last_seen, (p, last_seen)
+    last_done, last_seen = p["vertices_done"], p["subgraphs_seen"]
+    if st["state"] in ("completed", "cancelled", "failed"):
+        print(st["state"])
+        sys.exit(0)
+    time.sleep(0.05)
+print("timeout")
+EOF
+)
+echo "   terminal state: $state"
+[ "$state" = completed ] || { cat "$TMP/serve.log"; exit 1; }
+
+echo "== diff result against the golden karate k=4 histogram"
+result=$(curl -fs "http://$ADDR/jobs/$id/result")
+python3 - "$result" <<'EOF'
+import json, sys
+res = json.loads(sys.argv[1])
+assert res["state"] == "completed" and not res["partial"], res
+got = res["result"]["histogram"]
+golden = {   # pinned in internal/census/census_test.go against the oracle
+    "4:110010": 681,   # path4
+    "4:110011": 36,    # cycle4
+    "4:110100": 1098,  # star4
+    "4:111100": 452,   # paw
+    "4:111110": 85,    # diamond
+    "4:111111": 11,    # clique4
+}
+assert got == golden, f"histogram mismatch:\n got    {got}\n golden {golden}"
+assert res["result"]["subgraphs"] == sum(golden.values()), res
+print("   histogram matches golden (%d subgraphs)" % sum(golden.values()))
+EOF
+
+echo "== NDJSON result format"
+ndjson=$(curl -fs "http://$ADDR/jobs/$id/result?format=ndjson")
+python3 - "$ndjson" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in sys.argv[1].splitlines() if l.strip()]
+classes = {l["class"]: l["count"] for l in lines if "class" in l}
+assert classes.get("clique4") == 11 and classes.get("path4") == 681, classes
+assert "summary" in lines[-1] and lines[-1]["summary"]["state"] == "completed", lines[-1]
+print("   %d class lines + summary" % (len(lines) - 1))
+EOF
+
+echo "== job metrics families on /metrics"
+metrics=$(curl -fs "http://$ADDR/metrics")
+for family in \
+    'rads_jobs_submitted_total 1' \
+    'rads_jobs_total{outcome="completed"} 1' \
+    'rads_jobs_total{outcome="cancelled"}' \
+    'rads_jobs_total{outcome="failed"}' \
+    'rads_jobs_running' \
+    'rads_jobs_queued' \
+    'rads_job_progress' \
+    'rads_job_checkpoints_total' \
+    'rads_census_subgraphs_total 2363' \
+    'rads_census_subgraphs_per_second'; do
+    if ! grep -qF "$family" <<<"$metrics"; then
+        echo "FAIL: /metrics missing $family"
+        echo "$metrics"; exit 1
+    fi
+done
+
+echo "PASS: census smoke"

@@ -105,7 +105,16 @@ for family in \
     'rads_cache_misses_total' \
     'rads_transport_bytes_total{kind=' \
     'rads_transport_latency_seconds_count{kind=' \
-    'rads_steals_total'; do
+    'rads_steals_total' \
+    'rads_jobs_running' \
+    'rads_jobs_queued' \
+    'rads_jobs_submitted_total' \
+    'rads_jobs_total{outcome="completed"}' \
+    'rads_jobs_total{outcome="cancelled"}' \
+    'rads_jobs_total{outcome="failed"}' \
+    'rads_job_progress' \
+    'rads_census_subgraphs_total' \
+    'rads_census_subgraphs_per_second'; do
     if ! grep -qF "$family" <<<"$metrics"; then
         echo "FAIL: coordinator /metrics missing $family"
         echo "$metrics"; exit 1
