@@ -90,6 +90,14 @@ type options struct {
 	specPath string
 	waitFor  time.Duration
 
+	callTimeout  time.Duration
+	queryTimeout time.Duration
+	rpcRetries   int
+	heartbeat    time.Duration
+	breakThresh  int
+	breakCool    time.Duration
+	fallback     bool
+
 	slowQuery time.Duration
 	debugAddr string
 
@@ -114,6 +122,13 @@ func main() {
 	flag.BoolVar(&o.snapOnly, "snapshot-only", false, "write the snapshot and exit (requires -snapshot)")
 	flag.StringVar(&o.specPath, "cluster", "", "cluster spec JSON: dispatch RADS queries to remote radsworker daemons")
 	flag.DurationVar(&o.waitFor, "wait-workers", 30*time.Second, "how long to wait for cluster workers at startup")
+	flag.DurationVar(&o.callTimeout, "call-timeout", 5*time.Second, "per-RPC deadline for cluster control-plane calls (0 = unbounded)")
+	flag.DurationVar(&o.queryTimeout, "query-timeout", 0, "deadline for a dispatched cluster query (0 = unbounded; long queries legitimately run for minutes)")
+	flag.IntVar(&o.rpcRetries, "rpc-retries", 3, "attempts per idempotent cluster RPC (fetchV/verifyE/ping); 1 disables retries")
+	flag.DurationVar(&o.heartbeat, "heartbeat", 2*time.Second, "worker heartbeat sweep interval")
+	flag.IntVar(&o.breakThresh, "breaker-threshold", 3, "consecutive RPC failures that mark a worker down")
+	flag.DurationVar(&o.breakCool, "breaker-cooldown", 0, "wait before probing a down worker again (0 = 2x heartbeat)")
+	flag.BoolVar(&o.fallback, "cluster-fallback", false, "serve RADS queries from the in-process engine while the cluster is unhealthy")
 	flag.DurationVar(&o.slowQuery, "slow-query", 0, "log queries slower than this and keep their profiles in the slow ring (0 disables)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "optional second listener serving /metrics, /healthz and /debug/pprof")
 	flag.IntVar(&o.jobsConcurrent, "jobs-concurrent", 1, "batch jobs (motif census) running at once")
@@ -251,6 +266,7 @@ func run(o options) error {
 	}
 
 	// Cluster mode: front remote radsworker daemons for RADS queries.
+	var clusterHealth rads.HealthReporter
 	if o.specPath != "" {
 		spec, err := cluster.LoadSpec(o.specPath)
 		if err != nil {
@@ -260,14 +276,56 @@ func run(o options) error {
 			return fmt.Errorf("cluster spec has %d machines, partition %d", spec.M(), part.M)
 		}
 		client := cluster.NewTCPClient(spec, nil)
-		defer client.Close()
-		ce := rads.NewClusterEngine(client, part.M)
+		client.SetCallTimeout(o.callTimeout)
+		// Dispatched queries legitimately run as long as the query does;
+		// they get their own (usually unbounded) budget, not the short
+		// control-plane deadline.
+		client.SetKindTimeout("runQuery", o.queryTimeout)
+		timeouts := svc.Metrics().CounterVec("rads_cluster_rpc_timeouts_total",
+			"Cluster RPCs that hit their per-call deadline.", "kind")
+		client.SetTimeoutObserver(func(kind string) { timeouts.With(kind).Inc() })
+		retries := svc.Metrics().CounterVec("rads_cluster_rpc_retries_total",
+			"Retry attempts on idempotent cluster RPCs.", "kind")
+		tr := cluster.NewRetryTransport(client, cluster.RetryPolicy{
+			MaxAttempts: o.rpcRetries,
+			OnRetry:     func(kind string) { retries.With(kind).Inc() },
+		})
+		defer tr.Close()
+		ce := rads.NewClusterEngine(tr, part.M)
 		log.Printf("cluster mode: waiting up to %v for %d workers", o.waitFor, spec.M())
 		if err := ce.WaitReady(part, o.waitFor); err != nil {
 			return err
 		}
-		if err := svc.RegisterEngineObject(ce); err != nil {
-			return err
+		ce.StartHealth(rads.HealthOptions{
+			Interval:         o.heartbeat,
+			FailureThreshold: o.breakThresh,
+			Cooldown:         o.breakCool,
+			Registry:         svc.Metrics(),
+			OnTransition: func(machine int, up bool) {
+				if up {
+					log.Printf("cluster: worker %d recovered", machine)
+				} else {
+					log.Printf("cluster: worker %d down (breaker open)", machine)
+				}
+			},
+		})
+		defer ce.Close()
+		if o.fallback {
+			local, ok := engine.Lookup("RADS")
+			if !ok {
+				return errors.New("cluster-fallback: no in-process RADS engine registered")
+			}
+			fb := &rads.FallbackEngine{Cluster: ce, Local: local}
+			if err := svc.RegisterEngineObject(fb); err != nil {
+				return err
+			}
+			clusterHealth = fb
+			log.Printf("cluster mode: degraded-mode fallback to the in-process engine enabled")
+		} else {
+			if err := svc.RegisterEngineObject(ce); err != nil {
+				return err
+			}
+			clusterHealth = ce
 		}
 		log.Printf("cluster mode: RADS queries dispatch to remote workers (%s)", strings.Join(spec.Machines, " "))
 	}
@@ -287,7 +345,7 @@ func run(o options) error {
 	})
 	defer js.Close()
 
-	srv := &http.Server{Addr: o.addr, Handler: newMux(svc, js)}
+	srv := &http.Server{Addr: o.addr, Handler: newMux(svc, js, clusterHealth)}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", o.addr)
@@ -334,9 +392,10 @@ func run(o options) error {
 }
 
 // newMux wires the HTTP surface over a service and a job plane; split
-// out so tests can drive it through httptest.
-func newMux(svc *service.Service, js *jobsServer) *http.ServeMux {
-	s := &server{svc: svc}
+// out so tests can drive it through httptest. health is the cluster
+// health reporter in cluster mode, nil otherwise.
+func newMux(svc *service.Service, js *jobsServer, health rads.HealthReporter) *http.ServeMux {
+	s := &server{svc: svc, health: health}
 	mux := http.NewServeMux()
 	if js != nil {
 		js.register(mux)
@@ -347,14 +406,31 @@ func newMux(svc *service.Service, js *jobsServer) *http.ServeMux {
 	mux.HandleFunc("/patterns", s.handlePatterns)
 	mux.Handle("/metrics", svc.Metrics().Handler())
 	mux.HandleFunc("/debug/trace", s.handleTrace)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
 type server struct {
-	svc *service.Service
+	svc    *service.Service
+	health rads.HealthReporter
+}
+
+// handleHealthz reports ingress liveness, plus the per-machine cluster
+// view in cluster mode so operators see worker state without scraping
+// metrics. Always 200: the ingress itself is up, and in degraded mode
+// it is still serving (fallback) or failing fast (typed 503s) — the
+// "status" field carries the distinction.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.health == nil {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	report := s.health.HealthReport()
+	status := "ok"
+	if !report.Healthy {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status, "cluster": report})
 }
 
 type queryRequest struct {
@@ -427,6 +503,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := h.Result(ctx)
 	if err != nil {
+		// A down worker is a clean, typed, retryable condition — the
+		// cluster heals via breaker probes — not an internal error.
+		if errors.Is(err, rads.ErrWorkerDown) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -495,7 +578,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.svc.Stats())
+	if s.health == nil {
+		writeJSON(w, http.StatusOK, s.svc.Stats())
+		return
+	}
+	// Embed so the cluster view rides alongside the flat service stats
+	// without changing their shape.
+	report := s.health.HealthReport()
+	writeJSON(w, http.StatusOK, struct {
+		service.Stats
+		Cluster *rads.ClusterHealth `json:"cluster"`
+	}{s.svc.Stats(), &report})
 }
 
 // handleTrace serves retained query profiles. Without an id it lists

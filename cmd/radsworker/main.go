@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"rads/internal/cluster"
 	"rads/internal/graph"
@@ -46,15 +47,17 @@ func main() {
 		workers   = flag.Int("workers", 0, "enumeration workers per hosted machine (0 = GOMAXPROCS/hosted)")
 		dsDir     = flag.String("dataset-dir", "", "extra directory searched for .radsgraph files referenced by dataset-backed snapshots")
 		debugAddr = flag.String("debug-addr", "", "optional HTTP listener serving /metrics, /healthz and /debug/pprof")
+		callTO    = flag.Duration("call-timeout", 10*time.Second, "per-RPC deadline for worker-to-worker calls (0 = unbounded)")
+		retries   = flag.Int("rpc-retries", 3, "attempts per idempotent worker-to-worker RPC (fetchV/verifyE); 1 disables retries")
 	)
 	flag.Parse()
-	if err := run(*specPath, *snapDir, *machines, *listen, *workers, *dsDir, *debugAddr); err != nil {
+	if err := run(*specPath, *snapDir, *machines, *listen, *workers, *dsDir, *debugAddr, *callTO, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "radsworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath, snapDir, machineList, listen string, workers int, dsDir, debugAddr string) error {
+func run(specPath, snapDir, machineList, listen string, workers int, dsDir, debugAddr string, callTimeout time.Duration, rpcRetries int) error {
 	if specPath == "" || snapDir == "" {
 		return fmt.Errorf("need -spec and -snapshot")
 	}
@@ -79,7 +82,9 @@ func run(specPath, snapDir, machineList, listen string, workers int, dsDir, debu
 	}
 	defer srv.Close()
 
-	var clients []*cluster.TCPClient
+	// Closing the retry wrappers cancels pending backoff sleeps and
+	// closes the inner TCP clients.
+	var clients []*cluster.RetryTransport
 	defer func() {
 		for _, c := range clients {
 			c.Close()
@@ -110,6 +115,10 @@ func run(specPath, snapDir, machineList, listen string, workers int, dsDir, debu
 	})
 	transportLatency := reg.HistogramVec("rads_transport_latency_seconds",
 		"Outgoing exchange latency by message kind.", "kind", nil)
+	rpcTimeouts := reg.CounterVec("rads_cluster_rpc_timeouts_total",
+		"Worker-to-worker RPCs that hit their per-call deadline.", "kind")
+	rpcRetried := reg.CounterVec("rads_cluster_rpc_retries_total",
+		"Retry attempts on idempotent worker-to-worker RPCs.", "kind")
 
 	var allMetrics []*cluster.Metrics
 	for i, id := range ids {
@@ -119,7 +128,13 @@ func run(specPath, snapDir, machineList, listen string, workers int, dsDir, debu
 			transportLatency.With(kind).Observe(seconds)
 		})
 		allMetrics = append(allMetrics, metrics)
-		client := cluster.NewTCPClient(spec, metrics)
+		tcp := cluster.NewTCPClient(spec, metrics)
+		tcp.SetCallTimeout(callTimeout)
+		tcp.SetTimeoutObserver(func(kind string) { rpcTimeouts.With(kind).Inc() })
+		client := cluster.NewRetryTransport(tcp, cluster.RetryPolicy{
+			MaxAttempts: rpcRetries,
+			OnRetry:     func(kind string) { rpcRetried.With(kind).Inc() },
+		})
 		clients = append(clients, client)
 		d := rads.NewMachine(id, part, client, rads.MachineOptions{
 			AvgDegree: man.AvgDegree,

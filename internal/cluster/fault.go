@@ -28,6 +28,11 @@ type FaultyTransport struct {
 	// negative, matching calls fail immediately; zero disables counted
 	// failures (the zero value injects nothing).
 	FailAfter int64
+	// FailCount, if positive, fails the first that-many matching calls
+	// and lets all later ones through — the transient-outage shape that
+	// retry policies must recover from (FailAfter models the opposite:
+	// a worker that dies and stays dead).
+	FailCount int64
 	// FailErr is the error returned by injected failures; nil uses a
 	// generic one.
 	FailErr error
@@ -39,12 +44,21 @@ type FaultyTransport struct {
 	Seed int64
 
 	// Latency delays every forwarded call, simulating a slow network.
+	// The delay is cancelled by Close.
 	Latency time.Duration
 
-	calls    atomic.Int64
-	failures atomic.Int64
-	remain   atomic.Int64
-	initOnce sync.Once
+	// Hang blocks matching calls until Close, simulating a peer that
+	// accepts requests and never answers. Combine with FailKind to
+	// wedge a single message kind.
+	Hang bool
+
+	calls     atomic.Int64
+	failures  atomic.Int64
+	remain    atomic.Int64
+	failFirst atomic.Int64
+	initOnce  sync.Once
+	closeOnce sync.Once
+	closed    chan struct{}
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -56,6 +70,8 @@ var ErrInjected = fmt.Errorf("cluster: injected transport fault")
 func (f *FaultyTransport) init() {
 	f.initOnce.Do(func() {
 		f.rng = rand.New(rand.NewSource(f.Seed))
+		f.closed = make(chan struct{})
+		f.failFirst.Store(f.FailCount)
 		switch {
 		case f.FailAfter > 0:
 			f.remain.Store(f.FailAfter)
@@ -76,6 +92,15 @@ func (f *FaultyTransport) Call(from, to int, req Message) (Message, error) {
 	f.calls.Add(1)
 	matches := f.FailKind == "" || Kind(req) == f.FailKind
 	if matches {
+		if f.Hang {
+			f.failures.Add(1)
+			<-f.closed
+			return nil, f.err()
+		}
+		if f.FailCount > 0 && f.failFirst.Add(-1) >= 0 {
+			f.failures.Add(1)
+			return nil, f.err()
+		}
 		if f.remain.Add(-1) < 0 {
 			f.failures.Add(1)
 			return nil, f.err()
@@ -91,7 +116,15 @@ func (f *FaultyTransport) Call(from, to int, req Message) (Message, error) {
 		}
 	}
 	if f.Latency > 0 {
-		time.Sleep(f.Latency)
+		// Cancellable: a faulty transport with latency must not outlive
+		// Close by sleeping through it.
+		t := time.NewTimer(f.Latency)
+		select {
+		case <-t.C:
+		case <-f.closed:
+			t.Stop()
+			return nil, f.err()
+		}
 	}
 	return f.Inner.Call(from, to, req)
 }
@@ -103,8 +136,13 @@ func (f *FaultyTransport) err() error {
 	return ErrInjected
 }
 
-// Close forwards to the inner transport.
-func (f *FaultyTransport) Close() error { return f.Inner.Close() }
+// Close releases hung and delayed calls, then closes the inner
+// transport.
+func (f *FaultyTransport) Close() error {
+	f.init()
+	f.closeOnce.Do(func() { close(f.closed) })
+	return f.Inner.Close()
+}
 
 // Calls returns the number of Call invocations observed.
 func (f *FaultyTransport) Calls() int64 { return f.calls.Load() }

@@ -113,3 +113,69 @@ func TestFaultyLatency(t *testing.T) {
 		t.Errorf("5 calls with 2ms latency took %v, want >= 10ms", elapsed)
 	}
 }
+
+func TestFaultyFailCountRecovers(t *testing.T) {
+	ft := newFaulty(t, &FaultyTransport{FailCount: 3})
+	var failures int
+	for i := 0; i < 10; i++ {
+		if _, err := ft.Call(0, 1, verifyReq()); err != nil {
+			failures++
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+		}
+	}
+	if failures != 3 {
+		t.Errorf("failures = %d, want 3 (first 3 fail, rest pass)", failures)
+	}
+	if ft.Failures() != 3 {
+		t.Errorf("Failures() = %d, want 3", ft.Failures())
+	}
+}
+
+func TestFaultyLatencyCancelledByClose(t *testing.T) {
+	ft := newFaulty(t, &FaultyTransport{Latency: time.Hour})
+	done := make(chan error, 1)
+	go func() {
+		_, err := ft.Call(0, 1, verifyReq())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the call reach its sleep
+	ft.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled delayed call should error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not cancel a latency sleep")
+	}
+}
+
+func TestFaultyHangReleasedByClose(t *testing.T) {
+	ft := newFaulty(t, &FaultyTransport{Hang: true, FailKind: "fetchV"})
+	// Non-matching kinds pass straight through.
+	if _, err := ft.Call(0, 1, verifyReq()); err != nil {
+		t.Fatalf("verifyE should pass: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ft.Call(0, 1, &FetchVRequest{Vertices: []graph.VertexID{3}})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hung call returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+		// Still hanging, as configured.
+	}
+	ft.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("released hung call returned %v, want ErrInjected", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not release a hung call")
+	}
+}

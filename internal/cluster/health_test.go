@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHealthTrackerBreakerLifecycle(t *testing.T) {
+	h := NewHealthTracker(2, 3, 50*time.Millisecond)
+	if !h.AllUp() {
+		t.Fatal("workers must start assumed-up")
+	}
+
+	// Two failures: still closed (threshold 3).
+	h.ReportFailure(1)
+	h.ReportFailure(1)
+	if !h.Up(1) || h.State(1) != BreakerClosed {
+		t.Fatalf("2 failures under threshold 3 opened the breaker (state %v)", h.State(1))
+	}
+	// Third opens it; the other worker is untouched.
+	h.ReportFailure(1)
+	if h.Up(1) || h.State(1) != BreakerOpen {
+		t.Fatalf("3rd failure should open: state %v", h.State(1))
+	}
+	if !h.Up(0) {
+		t.Error("worker 0 must be unaffected")
+	}
+	if h.AllUp() {
+		t.Error("AllUp with an open breaker")
+	}
+
+	// Before cooldown: no probe. After: one probe, now half-open.
+	if h.ShouldProbe(1) {
+		t.Error("open breaker probed before cooldown")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !h.ShouldProbe(1) {
+		t.Fatal("open breaker not probed after cooldown")
+	}
+	if h.State(1) != BreakerHalfOpen {
+		t.Fatalf("probe grant should half-open: state %v", h.State(1))
+	}
+	if h.Up(1) {
+		t.Error("half-open is still down")
+	}
+
+	// A failed probe re-opens immediately (no threshold accumulation).
+	h.ReportFailure(1)
+	if h.State(1) != BreakerOpen {
+		t.Fatalf("failed half-open probe should re-open: state %v", h.State(1))
+	}
+
+	// Cooldown again, probe succeeds: closed, streak reset.
+	time.Sleep(60 * time.Millisecond)
+	if !h.ShouldProbe(1) {
+		t.Fatal("re-opened breaker not probed after second cooldown")
+	}
+	h.ReportSuccess(1)
+	if !h.Up(1) || h.State(1) != BreakerClosed || !h.AllUp() {
+		t.Fatalf("successful probe should close: state %v", h.State(1))
+	}
+	rep := h.Report()
+	if rep[1].Failures != 0 {
+		t.Errorf("failure streak not reset: %d", rep[1].Failures)
+	}
+}
+
+func TestHealthTrackerTransitionObserver(t *testing.T) {
+	h := NewHealthTracker(1, 2, time.Minute)
+	type ev struct {
+		machine int
+		up      bool
+	}
+	var events []ev
+	h.SetTransitionObserver(func(machine int, up bool) {
+		events = append(events, ev{machine, up})
+	})
+	h.ReportFailure(0) // 1/2: no transition
+	h.ReportFailure(0) // opens: down event
+	h.ReportFailure(0) // already down: no event
+	h.ReportSuccess(0) // closes: up event
+	h.ReportSuccess(0) // already up: no event
+	want := []ev{{0, false}, {0, true}}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestHealthTrackerReportShape(t *testing.T) {
+	h := NewHealthTracker(3, 1, time.Minute)
+	h.ReportSuccess(0)
+	h.ReportFailure(2)
+	rep := h.Report()
+	if len(rep) != 3 {
+		t.Fatalf("report length %d, want 3", len(rep))
+	}
+	if !rep[0].Up || rep[0].Breaker != "closed" || rep[0].LastSeen < 0 {
+		t.Errorf("worker 0: %+v", rep[0])
+	}
+	if rep[1].LastSeen != -1 {
+		t.Errorf("never-heard worker 1 should report LastSeen -1: %+v", rep[1])
+	}
+	if rep[2].Up || rep[2].Breaker != "open" || rep[2].Failures != 1 {
+		t.Errorf("worker 2: %+v", rep[2])
+	}
+}

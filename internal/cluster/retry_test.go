@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rads/internal/graph"
+)
+
+func fetchReq() Message {
+	return &FetchVRequest{Vertices: []graph.VertexID{3}}
+}
+
+func newRetrying(t *testing.T, ft *FaultyTransport, policy RetryPolicy) (*RetryTransport, *FaultyTransport) {
+	t.Helper()
+	newFaulty(t, ft)
+	if policy.BaseBackoff == 0 {
+		policy.BaseBackoff = time.Millisecond
+	}
+	return NewRetryTransport(ft, policy), ft
+}
+
+func TestRetryRecoversIdempotentKind(t *testing.T) {
+	var retried atomic.Int64
+	rt, ft := newRetrying(t, &FaultyTransport{FailKind: "fetchV", FailCount: 2},
+		RetryPolicy{MaxAttempts: 4, OnRetry: func(kind string) {
+			if kind != "fetchV" {
+				t.Errorf("OnRetry kind = %q, want fetchV", kind)
+			}
+			retried.Add(1)
+		}})
+	defer rt.Close()
+	if _, err := rt.Call(0, 1, fetchReq()); err != nil {
+		t.Fatalf("2 transient failures with 4 attempts should recover: %v", err)
+	}
+	if got := retried.Load(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if ft.Failures() != 2 {
+		t.Errorf("injected failures = %d, want 2", ft.Failures())
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	rt, ft := newRetrying(t, &FaultyTransport{FailKind: "fetchV", FailAfter: -1},
+		RetryPolicy{MaxAttempts: 3})
+	defer rt.Close()
+	if _, err := rt.Call(0, 1, fetchReq()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected after exhausting attempts", err)
+	}
+	if ft.Calls() != 3 {
+		t.Errorf("inner calls = %d, want 3 (MaxAttempts)", ft.Calls())
+	}
+}
+
+func TestRetryNeverRetriesNonIdempotentKinds(t *testing.T) {
+	for _, kind := range []string{"checkR", "shareR"} {
+		var req Message
+		switch kind {
+		case "checkR":
+			req = &CheckRRequest{}
+		case "shareR":
+			req = &ShareRRequest{}
+		}
+		rt, ft := newRetrying(t, &FaultyTransport{FailKind: kind, FailCount: 1},
+			RetryPolicy{MaxAttempts: 5, OnRetry: func(string) {
+				t.Errorf("%s must never be retried", kind)
+			}})
+		if _, err := rt.Call(0, 1, req); !errors.Is(err, ErrInjected) {
+			t.Fatalf("%s: err = %v, want ErrInjected on first failure", kind, err)
+		}
+		if ft.Calls() != 1 {
+			t.Errorf("%s: inner calls = %d, want exactly 1", kind, ft.Calls())
+		}
+		rt.Close()
+	}
+}
+
+func TestRetryNeverRetriesRemoteErrors(t *testing.T) {
+	// A retryable kind failing with ErrRemote was delivered and
+	// answered — the failure is deterministic, not transient.
+	rt, ft := newRetrying(t, &FaultyTransport{
+		FailKind:  "fetchV",
+		FailCount: 1,
+		FailErr:   errFakeRemote{},
+	}, RetryPolicy{MaxAttempts: 5})
+	defer rt.Close()
+	if _, err := rt.Call(0, 1, fetchReq()); err == nil {
+		t.Fatal("want the remote error back")
+	}
+	if ft.Calls() != 1 {
+		t.Errorf("inner calls = %d, want exactly 1 (no retry on ErrRemote)", ft.Calls())
+	}
+}
+
+type errFakeRemote struct{}
+
+func (errFakeRemote) Error() string { return "remote said no" }
+func (errFakeRemote) Unwrap() error { return ErrRemote }
+
+func TestRetryDefaultClassification(t *testing.T) {
+	cases := map[string]bool{
+		"fetchV":   true,
+		"verifyE":  true,
+		"ping":     true,
+		"runQuery": false,
+		"checkR":   false,
+		"shareR":   false,
+		"shuffle":  false,
+	}
+	for kind, want := range cases {
+		if got := DefaultRetryable(kind); got != want {
+			t.Errorf("DefaultRetryable(%q) = %v, want %v", kind, got, want)
+		}
+	}
+}
+
+func TestRetryCloseCancelsBackoff(t *testing.T) {
+	rt, _ := newRetrying(t, &FaultyTransport{FailKind: "fetchV", FailAfter: -1},
+		RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Hour})
+	done := make(chan error, 1)
+	go func() {
+		_, err := rt.Call(0, 1, fetchReq())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the first attempt fail into backoff
+	rt.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled retrying call should error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not cancel a retry backoff sleep")
+	}
+}

@@ -46,6 +46,12 @@ type tcpReply struct {
 // book answers instantly and forever.
 var ErrRemote = errors.New("remote error")
 
+// ErrTimeout marks a call that hit its per-call deadline: the peer
+// accepted the connection (or held one open) but did not answer in
+// time. A wedged worker surfaces as this error instead of hanging the
+// caller forever; the poisoned connection is dropped from the pool.
+var ErrTimeout = errors.New("cluster: rpc deadline exceeded")
+
 // TCPServer is the listen side of the TCP substrate: one listener that
 // serves daemon requests for every machine Registered on it. A worker
 // process runs one TCPServer for all machines it hosts; the all-in-one
@@ -189,10 +195,21 @@ func (s *TCPServer) Close() error {
 // a ClusterSpec and ships gob-encoded requests over one persistent
 // connection per (from, to) pair. A connection that fails mid-call is
 // dropped from the pool so the next call redials instead of inheriting
-// a poisoned gob stream.
+// a poisoned gob stream; a connection reused after sitting idle is
+// liveness-probed first, so a restarted peer is redialed transparently
+// instead of failing the first post-restart call.
 type TCPClient struct {
 	spec    ClusterSpec
 	metrics *Metrics
+
+	// Deadline configuration. callTimeout bounds every call (and the
+	// dial); kindTimeout overrides it per message kind — the coordinator
+	// gives runQuery a much longer budget than the data plane, or none.
+	// An explicit zero means unbounded. Configure before the first Call;
+	// these fields are not synchronized against in-flight calls.
+	callTimeout time.Duration
+	kindTimeout map[string]time.Duration
+	onTimeout   func(kind string)
 
 	connMu sync.Mutex
 	conns  map[connKey]*connFuture
@@ -202,10 +219,36 @@ type TCPClient struct {
 type connKey struct{ from, to int }
 
 type tcpConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
+	mu       sync.Mutex
+	c        net.Conn
+	enc      *gob.Encoder
+	dec      *gob.Decoder
+	lastUsed time.Time // guarded by mu; set at dial and after each completed exchange
+}
+
+// Reusing a pooled connection that sat idle longer than staleProbeAfter
+// is preceded by a liveness probe of at most staleProbeBudget. A peer
+// process that died sent its FIN when the kernel reaped it, so a dead
+// pooled connection has an EOF (or RST) already queued locally: the
+// probe surfaces it instantly and the caller redials instead of
+// shipping a non-retryable request into a dead socket. A healthy idle
+// connection costs one probe timeout (~1ms); busy connections (the
+// heartbeat keeps the coordinator's warm) are never probed.
+const (
+	staleProbeAfter  = 500 * time.Millisecond
+	staleProbeBudget = time.Millisecond
+)
+
+// alive probes an idle connection for liveness: a one-byte read that
+// times out having read nothing means no FIN/RST is pending. Any byte
+// actually read is unsolicited data on a request/response stream —
+// equally disqualifying. Callers hold conn.mu.
+func (conn *tcpConn) alive() bool {
+	conn.c.SetReadDeadline(time.Now().Add(staleProbeBudget))
+	var b [1]byte
+	n, err := conn.c.Read(b[:])
+	conn.c.SetReadDeadline(time.Time{})
+	return n == 0 && isTimeout(err)
 }
 
 // connFuture is a pool slot that may still be dialing: the pool lock
@@ -229,10 +272,47 @@ func NewTCPClient(spec ClusterSpec, metrics *Metrics) *TCPClient {
 // in-process transport would otherwise go.
 func (t *TCPClient) Register(int, Handler) {}
 
+// SetCallTimeout bounds every call (encode through decode, plus the
+// dial) with d. Zero restores the historical unbounded behavior.
+// Configure before the first Call.
+func (t *TCPClient) SetCallTimeout(d time.Duration) { t.callTimeout = d }
+
+// SetKindTimeout overrides the call timeout for one message kind. An
+// explicit zero makes that kind unbounded — the coordinator uses this
+// to exempt runQuery, whose legitimate runtime is the query itself,
+// from the short data-plane deadline. Configure before the first Call.
+func (t *TCPClient) SetKindTimeout(kind string, d time.Duration) {
+	if t.kindTimeout == nil {
+		t.kindTimeout = make(map[string]time.Duration)
+	}
+	t.kindTimeout[kind] = d
+}
+
+// SetTimeoutObserver installs fn as the sink notified on every call
+// that hits its deadline (label = message kind). radserve points it at
+// a rads_cluster_rpc_timeouts_total counter family. Configure before
+// the first Call.
+func (t *TCPClient) SetTimeoutObserver(fn func(kind string)) { t.onTimeout = fn }
+
+// timeoutFor resolves the deadline budget for one message kind.
+func (t *TCPClient) timeoutFor(kind string) time.Duration {
+	if d, ok := t.kindTimeout[kind]; ok {
+		return d
+	}
+	return t.callTimeout
+}
+
+// isTimeout reports whether err is a deadline-style network failure.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // Call ships the request over TCP and waits for the reply.
 func (t *TCPClient) Call(from, to int, req Message) (Message, error) {
+	kind := Kind(req)
 	if from == to {
-		return nil, fmt.Errorf("cluster: machine %d sent itself a %s request", from, Kind(req))
+		return nil, fmt.Errorf("cluster: machine %d sent itself a %s request", from, kind)
 	}
 	if to < 0 || to >= t.spec.M() {
 		return nil, fmt.Errorf("cluster: no machine %d in a %d-machine spec", to, t.spec.M())
@@ -242,21 +322,53 @@ func (t *TCPClient) Call(from, to int, req Message) (Message, error) {
 		return nil, err
 	}
 	conn.mu.Lock()
+	// A stale pooled connection may belong to a peer that has since
+	// died and been replaced (worker restart): probe before trusting it,
+	// and redial once on failure so the first call after a restart hits
+	// the live process instead of erroring on the corpse's socket.
+	if time.Since(conn.lastUsed) > staleProbeAfter && !conn.alive() {
+		conn.mu.Unlock()
+		t.drop(connKey{from, to}, conn)
+		if conn, err = t.conn(from, to); err != nil {
+			return nil, err
+		}
+		conn.mu.Lock()
+	}
 	defer conn.mu.Unlock()
+	// The deadline covers the full exchange: a peer that accepts the
+	// envelope but never writes a reply errors out of Decode instead of
+	// wedging the caller (and every later caller queued on conn.mu).
+	if d := t.timeoutFor(kind); d > 0 {
+		conn.c.SetDeadline(time.Now().Add(d))
+	} else {
+		conn.c.SetDeadline(time.Time{})
+	}
 	began := time.Now()
 	if err := conn.enc.Encode(&tcpEnvelope{From: from, To: to, Req: req}); err != nil {
 		t.drop(connKey{from, to}, conn)
+		if isTimeout(err) {
+			if t.onTimeout != nil {
+				t.onTimeout(kind)
+			}
+			return nil, fmt.Errorf("cluster: send to %d: %w: %v", to, ErrTimeout, err)
+		}
 		return nil, fmt.Errorf("cluster: send to %d: %w", to, err)
 	}
 	var reply tcpReply
 	if err := conn.dec.Decode(&reply); err != nil {
 		t.drop(connKey{from, to}, conn)
+		if isTimeout(err) {
+			if t.onTimeout != nil {
+				t.onTimeout(kind)
+			}
+			return nil, fmt.Errorf("cluster: receive from %d: %w: %v", to, ErrTimeout, err)
+		}
 		return nil, fmt.Errorf("cluster: receive from %d: %w", to, err)
 	}
+	conn.lastUsed = time.Now()
 	if reply.Err != "" {
 		return nil, fmt.Errorf("%w: %s", ErrRemote, reply.Err)
 	}
-	kind := Kind(req)
 	t.metrics.ObserveLatency(kind, time.Since(began).Seconds())
 	t.metrics.Account(from, to, req, reply.Resp, kind)
 	return reply.Resp, nil
@@ -278,14 +390,14 @@ func (t *TCPClient) conn(from, to int) (*tcpConn, error) {
 	t.conns[key] = f
 	t.connMu.Unlock()
 
-	c, err := net.Dial("tcp", t.spec.Addr(to))
+	c, err := net.DialTimeout("tcp", t.spec.Addr(to), t.callTimeout)
 	if err != nil {
 		f.err = fmt.Errorf("cluster: dial machine %d at %s: %w", to, t.spec.Addr(to), err)
 		close(f.ready)
 		t.remove(key, f)
 		return nil, f.err
 	}
-	f.conn = &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	f.conn = &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), lastUsed: time.Now()}
 	close(f.ready)
 	// Closed while we dialed: hand the conn back dead instead of
 	// leaking it past Close.

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestCallTimeoutOnSilentServer is the regression test for the
+// deadline path: a peer that accepts the connection but never writes a
+// reply must produce a timeout error, not hang the caller forever.
+// Before per-call deadlines existed, this test deadlocked.
+func TestCallTimeoutOnSilentServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Accept and hold: read nothing, write nothing.
+	conns := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns <- c
+		}
+	}()
+	defer func() {
+		for {
+			select {
+			case c := <-conns:
+				c.Close()
+			default:
+				return
+			}
+		}
+	}()
+
+	spec := ClusterSpec{Machines: []string{"unused", ln.Addr().String()}}
+	client := NewTCPClient(spec, nil)
+	defer client.Close()
+	client.SetCallTimeout(100 * time.Millisecond)
+	var observed string
+	client.SetTimeoutObserver(func(kind string) { observed = kind })
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Call(Coordinator, 1, verifyReq())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("err = %v, want ErrTimeout", err)
+		}
+		if errors.Is(err, ErrRemote) {
+			t.Fatalf("timeout classified as remote error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Call against a silent server hung past 5s with a 100ms deadline")
+	}
+	if observed != "verifyE" {
+		t.Errorf("timeout observer saw kind %q, want verifyE", observed)
+	}
+}
+
+// TestKindTimeoutOverride: an explicit zero kind budget exempts that
+// kind from the default deadline, and a kind-specific budget applies
+// even when the default is unbounded.
+func TestKindTimeoutOverride(t *testing.T) {
+	client := NewTCPClient(ClusterSpec{}, nil)
+	client.SetCallTimeout(time.Second)
+	client.SetKindTimeout("runQuery", 0)
+	client.SetKindTimeout("fetchV", 50*time.Millisecond)
+	if d := client.timeoutFor("runQuery"); d != 0 {
+		t.Errorf("runQuery budget = %v, want 0 (unbounded)", d)
+	}
+	if d := client.timeoutFor("fetchV"); d != 50*time.Millisecond {
+		t.Errorf("fetchV budget = %v, want 50ms", d)
+	}
+	if d := client.timeoutFor("verifyE"); d != time.Second {
+		t.Errorf("verifyE budget = %v, want the 1s default", d)
+	}
+}
+
+// TestCallTimeoutRecoversAfterRedial: a timed-out connection is
+// dropped from the pool, so a later call against a now-responsive
+// server succeeds by redialing instead of inheriting the poisoned gob
+// stream.
+func TestCallTimeoutRecoversAfterRedial(t *testing.T) {
+	srv, err := NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	block := make(chan struct{})
+	srv.Register(1, func(from int, req Message) (Message, error) {
+		<-block // closed channel: later calls pass straight through
+		return faultEchoHandler(from, req)
+	})
+
+	spec := ClusterSpec{Machines: []string{"unused", srv.Addr()}}
+	client := NewTCPClient(spec, nil)
+	defer client.Close()
+	client.SetCallTimeout(100 * time.Millisecond)
+
+	if _, err := client.Call(Coordinator, 1, verifyReq()); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("blocked handler: err = %v, want ErrTimeout", err)
+	}
+	close(block)
+	if _, err := client.Call(Coordinator, 1, verifyReq()); err != nil {
+		t.Fatalf("call after unblock failed: %v", err)
+	}
+}
+
+// TestStaleConnProbeRedialsAfterPeerRestart: a pooled connection whose
+// peer process died holds an EOF the idle-liveness probe must surface,
+// so the first call after a worker restart redials transparently
+// instead of erroring on the corpse's socket. This matters most for
+// non-retryable kinds (checkR here) — the retry transport is forbidden
+// from papering over the stale connection for them.
+func TestStaleConnProbeRedialsAfterPeerRestart(t *testing.T) {
+	srv, err := NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Register(1, faultEchoHandler)
+	addr := srv.Addr()
+
+	spec := ClusterSpec{Machines: []string{"unused", addr}}
+	client := NewTCPClient(spec, nil)
+	defer client.Close()
+	client.SetCallTimeout(2 * time.Second)
+
+	if _, err := client.Call(Coordinator, 1, &CheckRRequest{}); err != nil {
+		t.Fatalf("call against the first server: %v", err)
+	}
+
+	// Peer dies (FIN lands on the pooled connection) and a replacement
+	// binds the same address — the worker-restart sequence.
+	srv.Close()
+	srv2, err := NewTCPServer(addr)
+	if err != nil {
+		t.Fatalf("rebinding %s after restart: %v", addr, err)
+	}
+	defer srv2.Close()
+	srv2.Register(1, faultEchoHandler)
+
+	time.Sleep(staleProbeAfter + 50*time.Millisecond)
+	if _, err := client.Call(Coordinator, 1, &CheckRRequest{}); err != nil {
+		t.Fatalf("first call after peer restart: %v (stale conn not probed out of the pool)", err)
+	}
+}

@@ -264,3 +264,42 @@ func TestConformanceStreaming(t *testing.T) {
 		}
 	}
 }
+
+// TestConformanceRetryableFaults: transient failures on an idempotent
+// message kind (fetchV), recovered through the retry transport, must
+// never change any engine's counts — the acceptance bar for the retry
+// policy. Engines that never send fetchV simply don't consume the
+// injected faults and trivially conform.
+func TestConformanceRetryableFaults(t *testing.T) {
+	part := conformancePart(t)
+	q := pattern.Triangle()
+	want := localenum.Count(part.G, q, localenum.Options{})
+	if want == 0 {
+		t.Fatal("oracle found nothing; conformance graph too sparse")
+	}
+	for _, name := range engine.Names() {
+		e, ok := engine.Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		// Fresh fault stack per engine: counters and the fail-first
+		// countdown must not leak across runs.
+		base := conformanceTransport(t, part.M)
+		if base == nil {
+			base = cluster.NewLocalTransport(nil)
+			t.Cleanup(func() { base.Close() })
+		}
+		faulty := &cluster.FaultyTransport{Inner: base, FailKind: "fetchV", FailCount: 3}
+		tr := cluster.NewRetryTransport(faulty, cluster.RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: time.Millisecond,
+		})
+		res, err := e.Run(context.Background(), engine.Request{Part: part, Pattern: q, Transport: tr})
+		if err != nil {
+			t.Fatalf("%s: %v (retryable faults must recover)", name, err)
+		}
+		if res.Total != want {
+			t.Errorf("%s: count %d with injected fetchV faults, oracle says %d", name, res.Total, want)
+		}
+	}
+}

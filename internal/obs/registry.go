@@ -64,6 +64,7 @@ type family struct {
 	cvec    map[string]*Counter
 	hvec    map[string]*Histogram
 	cvecFn  func() map[string]int64
+	gvecFn  func() map[string]float64
 	buckets []float64
 }
 
@@ -256,6 +257,18 @@ func (r *Registry) CounterVecFunc(name, help, label string, fn func() map[string
 	f.mu.Unlock()
 }
 
+// GaugeVecFunc registers a labeled gauge family whose series are read
+// from fn at scrape time (one series per map key) — the labeled
+// companion of GaugeFunc, used for per-machine cluster health views.
+// Re-registration replaces the function.
+func (r *Registry) GaugeVecFunc(name, help, label string, fn func() map[string]float64) {
+	f := r.family(name, help, "gauge", "gaugevecfunc")
+	f.mu.Lock()
+	f.label = label
+	f.gvecFn = fn
+	f.mu.Unlock()
+}
+
 // HistogramVec is a histogram family with one label dimension; all
 // children share the bucket shape.
 type HistogramVec struct{ f *family }
@@ -343,6 +356,16 @@ func (f *family) write(b *strings.Builder) {
 		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Fprintf(b, "%s{%s=%q} %d\n", f.name, f.label, escapeLabel(k), vals[k])
+		}
+	case "gaugevecfunc":
+		vals := f.gvecFn()
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(b, "%s{%s=%q} %s\n", f.name, f.label, escapeLabel(k), fmtFloat(vals[k]))
 		}
 	case "histogramvec":
 		for _, k := range sortedKeys(f.hvec) {

@@ -22,6 +22,17 @@ import (
 // processes would host them, and a coordinator client fronts the lot.
 func hostCluster(t *testing.T, part *partition.Partition) *rads.ClusterEngine {
 	t.Helper()
+	return hostClusterWrapped(t, part, nil, nil)
+}
+
+// hostClusterWrapped is hostCluster with transport interception:
+// wrapWorker decorates each worker daemon's outgoing client (the
+// verifyE/fetchV/checkR/shareR data plane), wrapCoord the
+// coordinator's (ping/runQuery control plane). Either may be nil. The
+// fault and health tests stack FaultyTransport/RetryTransport here.
+func hostClusterWrapped(t *testing.T, part *partition.Partition,
+	wrapWorker, wrapCoord func(cluster.Transport) cluster.Transport) *rads.ClusterEngine {
+	t.Helper()
 	dir := t.TempDir()
 	if err := snapshot.Write(dir, part, "test"); err != nil {
 		t.Fatal(err)
@@ -52,7 +63,10 @@ func hostCluster(t *testing.T, part *partition.Partition) *rads.ClusterEngine {
 			t.Fatal(err)
 		}
 		metrics := cluster.NewMetrics(part.M)
-		client := cluster.NewTCPClient(spec, metrics)
+		var client cluster.Transport = cluster.NewTCPClient(spec, metrics)
+		if wrapWorker != nil {
+			client = wrapWorker(client)
+		}
 		t.Cleanup(func() { client.Close() })
 		d := rads.NewMachine(id, shard, client, rads.MachineOptions{
 			AvgDegree: man.AvgDegree,
@@ -66,7 +80,10 @@ func hostCluster(t *testing.T, part *partition.Partition) *rads.ClusterEngine {
 		}
 	}
 
-	coord := cluster.NewTCPClient(spec, nil)
+	var coord cluster.Transport = cluster.NewTCPClient(spec, nil)
+	if wrapCoord != nil {
+		coord = wrapCoord(coord)
+	}
 	t.Cleanup(func() { coord.Close() })
 	ce := rads.NewClusterEngine(coord, part.M)
 	// WaitReady also proves every shard-hosted daemon fingerprints

@@ -2,6 +2,7 @@ package rads
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -35,6 +36,11 @@ import (
 type ClusterEngine struct {
 	tr cluster.Transport
 	m  int
+
+	// health, when StartHealth has run, carries the per-worker breaker
+	// tracker and heartbeat loop (see health.go). Nil means no health
+	// gating — the pre-subsystem behavior.
+	health *clusterHealth
 
 	mu sync.Mutex
 }
@@ -136,6 +142,11 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 	if err := ctx.Err(); err != nil {
 		return eng.Result{}, err
 	}
+	// Fail fast on known-down workers: every machine participates in
+	// every query, so one open breaker means the query cannot succeed.
+	if err := c.gateHealth(); err != nil {
+		return eng.Result{}, err
+	}
 
 	start := time.Now()
 	execSp := trace.Start("execute", -1, -1)
@@ -147,7 +158,15 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 		go func(t int) {
 			defer wg.Done()
 			resp, err := c.tr.Call(cluster.Coordinator, t, wire)
+			c.reportOutcome(t, err)
 			if err != nil {
+				// Transport-level failure (timeout, refused, severed):
+				// the worker itself is unreachable, not just the query
+				// unlucky — surface it as the typed down error.
+				if !errors.Is(err, cluster.ErrRemote) {
+					errs[t] = &WorkerDownError{Machine: t, Cause: err}
+					return
+				}
 				errs[t] = fmt.Errorf("rads: machine %d: %w", t, err)
 				return
 			}
@@ -165,6 +184,15 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 	wg.Wait()
 	execSp.End()
 	secs := time.Since(start).Seconds()
+	// When a worker dies mid-query, its surviving peers often fail too
+	// (their fetchV/verifyE calls to the dead machine error out, which
+	// they report as remote errors). Prefer the root cause: a
+	// WorkerDownError from any machine over a secondary remote error.
+	for _, err := range errs {
+		if err != nil && errors.Is(err, ErrWorkerDown) {
+			return eng.Result{}, err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return eng.Result{}, err

@@ -43,6 +43,7 @@ import (
 	"rads/internal/graph"
 	"rads/internal/obs"
 	"rads/internal/partition"
+	"rads/internal/rads"
 )
 
 // Errors returned by Submit.
@@ -546,12 +547,18 @@ func (s *Service) serve(ctx context.Context, h *Handle, fn EngineFunc, key strin
 	s.accountComm(req.Metrics)
 	if err != nil {
 		// A context cancellation is the client's doing (disconnect or
-		// deliberate stream truncation), not a service failure.
+		// deliberate stream truncation), not a service failure. A down
+		// worker is a failure but a distinguishable one: the outcome
+		// label separates cluster unavailability from query errors.
 		outcome := "error"
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			s.cancelled.Add(1)
 			outcome = "cancelled"
-		} else {
+		case errors.Is(err, rads.ErrWorkerDown):
+			s.failed.Add(1)
+			outcome = "unavailable"
+		default:
 			s.failed.Add(1)
 		}
 		s.obsQueries.With(outcome).Inc()

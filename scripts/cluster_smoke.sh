@@ -10,6 +10,12 @@
 #   4. radserve is restarted; its first query must be answered from the
 #      snapshot (no re-partitioning) and still match.
 #
+#   5. Chaos: one worker is wedged (SIGSTOP) and later killed outright;
+#      in-flight queries must fail with a clean typed 503 (never a
+#      hang), worker_up and breaker metrics must track the outage, and
+#      after the worker returns the cluster must serve again with no
+#      coordinator restart.
+#
 # CI runs this; it also works locally: ./scripts/cluster_smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,13 +50,22 @@ echo "== start two radsworker processes"
 "$TMP/bin/radsworker" -spec "$TMP/spec.json" -snapshot "$TMP/snap" \
     -machines 0,1 -debug-addr "$W1DBG" >"$TMP/worker1.log" 2>&1 &
 PIDS+=($!)
-"$TMP/bin/radsworker" -spec "$TMP/spec.json" -snapshot "$TMP/snap" \
-    -machines 2,3 >"$TMP/worker2.log" 2>&1 &
-PIDS+=($!)
+start_worker2() {
+    "$TMP/bin/radsworker" -spec "$TMP/spec.json" -snapshot "$TMP/snap" \
+        -machines 2,3 >>"$TMP/worker2.log" 2>&1 &
+    W2PID=$!
+    PIDS+=($W2PID)
+}
+start_worker2
 
+# Fault-tolerance knobs are tuned tight so the chaos phase detects an
+# outage in seconds: 1s per-RPC deadline, 5s budget for a dispatched
+# query, 300ms heartbeats, breaker opens after 2 consecutive failures.
 start_serve() {
     "$TMP/bin/radserve" -addr "$ADDR" -snapshot "$TMP/snap" \
-        -cluster "$TMP/spec.json" >"$TMP/serve.log" 2>&1 &
+        -cluster "$TMP/spec.json" \
+        -call-timeout 1s -query-timeout 5s -rpc-retries 2 \
+        -heartbeat 300ms -breaker-threshold 2 >"$TMP/serve.log" 2>&1 &
     PIDS+=($!)
     for _ in $(seq 1 100); do
         if curl -fs "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
@@ -60,8 +75,14 @@ start_serve() {
 }
 
 total_of() { # total_of PATTERN ENGINE
-    curl -fs "http://$ADDR/query?pattern=$1&engine=$2&nocache=1" \
-        | python3 -c 'import json,sys; d=json.load(sys.stdin); print(d["total"])'
+    # No -f: on a non-200 the body is the error we want to see, not an
+    # opaque empty-input traceback from the JSON parse.
+    body=$(curl -s "http://$ADDR/query?pattern=$1&engine=$2&nocache=1")
+    if ! printf '%s' "$body" \
+        | python3 -c 'import json,sys; d=json.load(sys.stdin); print(d["total"])'; then
+        echo "FAIL: query pattern=$1 engine=$2 did not return a total: $body" >&2
+        return 1
+    fi
 }
 
 echo "== start cluster-mode radserve"
@@ -170,5 +191,109 @@ echo "   after restart: RADS=$warm, SEED=$cold"
 if [ "$warm" != "$cold" ]; then
     echo "FAIL: post-restart counts disagree"; exit 1
 fi
+
+# ---------------------------------------------------------------- chaos
+
+# query_code PATTERN -> HTTP status (body lands in $TMP/chaos_body.json).
+# -m 30 is the watchdog: a hang here is exactly the bug this phase
+# exists to catch.
+query_code() {
+    curl -s -o "$TMP/chaos_body.json" -w '%{http_code}' -m 30 \
+        "http://$ADDR/query?pattern=$1&engine=RADS&nocache=1"
+}
+
+# wait_health STATUS waits for /healthz to report it (ok | degraded).
+wait_health() {
+    for _ in $(seq 1 120); do
+        got=$(curl -fs "http://$ADDR/healthz" \
+            | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])' \
+            2>/dev/null || true)
+        if [ "$got" = "$1" ]; then return 0; fi
+        sleep 0.5
+    done
+    echo "FAIL: /healthz never reported $1"
+    curl -fs "http://$ADDR/healthz"; tail -20 "$TMP/serve.log"; exit 1
+}
+
+echo "== chaos: wedge worker 2 (SIGSTOP) — in-flight query must 503, not hang"
+kill -STOP "$W2PID"
+began=$(date +%s)
+code=$(query_code triangle)
+took=$(( $(date +%s) - began ))
+if [ "$code" != 503 ]; then
+    echo "FAIL: query against a wedged worker returned $code, want 503"
+    cat "$TMP/chaos_body.json"; exit 1
+fi
+if ! grep -q "worker" "$TMP/chaos_body.json"; then
+    echo "FAIL: 503 body does not name the down worker"
+    cat "$TMP/chaos_body.json"; exit 1
+fi
+echo "   wedged query: 503 in ${took}s ($(cat "$TMP/chaos_body.json"))"
+
+echo "== chaos: breaker opens, health and metrics track the outage"
+wait_health degraded
+cmetrics=$(curl -fs "http://$ADDR/metrics")
+if ! grep -qE 'rads_cluster_worker_up\{machine="(2|3)"\} 0' <<<"$cmetrics"; then
+    echo "FAIL: no worker_up gauge dropped to 0"
+    grep rads_cluster <<<"$cmetrics" || true; exit 1
+fi
+if ! grep -q 'rads_cluster_healthy 0' <<<"$cmetrics"; then
+    echo "FAIL: rads_cluster_healthy still 1 during outage"; exit 1
+fi
+timeouts=$(grep -c '^rads_cluster_rpc_timeouts_total{' <<<"$cmetrics" || true)
+retries=$(grep -c '^rads_cluster_rpc_retries_total{' <<<"$cmetrics" || true)
+if [ "$timeouts" -eq 0 ] && [ "$retries" -eq 0 ]; then
+    echo "FAIL: neither timeout nor retry counters moved during the outage"
+    grep rads_cluster <<<"$cmetrics" || true; exit 1
+fi
+if ! grep -qE 'rads_cluster_breaker_state\{machine="(2|3)"\} [12]' <<<"$cmetrics"; then
+    echo "FAIL: no breaker left the closed state"; exit 1
+fi
+# /stats carries the same per-machine view for operators.
+curl -fs "http://$ADDR/stats" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+c = s["cluster"]
+assert c["healthy"] is False, c
+down = [w["machine"] for w in c["workers"] if not w["up"]]
+assert down, c
+print("   /stats cluster view: workers", down, "down")'
+
+echo "== chaos: gated query fails fast while the breaker is open"
+began=$(date +%s)
+code=$(query_code triangle)
+took=$(( $(date +%s) - began ))
+if [ "$code" != 503 ]; then
+    echo "FAIL: gated query returned $code, want 503"; exit 1
+fi
+if [ "$took" -gt 5 ]; then
+    echo "FAIL: gated query took ${took}s — the breaker is not short-circuiting"
+    exit 1
+fi
+echo "   gated query: 503 in ${took}s"
+
+echo "== chaos: worker resumes (SIGCONT) — heartbeats must close the breaker"
+kill -CONT "$W2PID"
+wait_health ok
+recovered=$(total_of triangle RADS)
+if [ "$recovered" != "$warm" ]; then
+    echo "FAIL: post-recovery count $recovered != $warm"; exit 1
+fi
+echo "   recovered: triangle=$recovered"
+
+echo "== chaos: kill worker 2 outright, restart it — no coordinator restart"
+kill -9 "$W2PID"; wait "$W2PID" 2>/dev/null || true
+wait_health degraded
+code=$(query_code triangle)
+if [ "$code" != 503 ]; then
+    echo "FAIL: query against a dead worker returned $code, want 503"; exit 1
+fi
+start_worker2
+wait_health ok
+revived=$(total_of triangle RADS)
+if [ "$revived" != "$warm" ]; then
+    echo "FAIL: post-restart count $revived != $warm"; exit 1
+fi
+echo "   worker restarted: triangle=$revived, same radserve process"
 
 echo "PASS: cluster smoke"
