@@ -9,7 +9,9 @@
 //	radsbench -exp all                    # everything, in paper order
 //
 // Experiments: table1, table2, fig8, fig9, fig10, fig11, fig12, fig13,
-// table3, table4, fig15, robust, ablations, all.
+// table3, table4, fig15, robust, ablations, all. Outside the paper set,
+// -exp gallopsweep prints the merge-vs-gallop crossover table that pins
+// graph.gallopRatioU32 (record reruns in BENCH_NOTES.md).
 //
 // With -json FILE, radsbench instead writes a machine-readable
 // performance snapshot (kernel micro-benchmarks plus one end-to-end
@@ -37,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (table1 table2 fig8 fig9 fig10 fig11 fig12 fig13 table3 table4 fig15 robust ablations count all)")
+		exp       = flag.String("exp", "all", "experiment id (table1 table2 fig8 fig9 fig10 fig11 fig12 fig13 table3 table4 fig15 robust ablations count gallopsweep all)")
 		machines  = flag.Int("machines", 10, "number of simulated machines")
 		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
 		dataset   = flag.String("dataset", "", "dataset override for fig12/robust/ablations (built-in analogs) and the dataset for -exp count (analog or -registry name)")
@@ -254,6 +256,8 @@ func run(exp string, machines int, scale float64, dataset string, budget int64) 
 			return err
 		}
 		t.Fprint(out)
+	case "gallopsweep":
+		harness.GallopSweep().Fprint(out)
 	case "all":
 		for _, id := range []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11",
 			"fig12", "fig13", "table3", "table4", "fig15", "robust", "ablations"} {

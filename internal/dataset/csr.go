@@ -39,7 +39,10 @@ type CSR struct {
 	maxDeg int
 }
 
-var _ graph.Store = (*CSR)(nil)
+var (
+	_ graph.Store         = (*CSR)(nil)
+	_ graph.FlatAdjacency = (*CSR)(nil)
+)
 
 // NewCSR wraps an offsets + neighbours pair as a CSR after validating
 // the structural invariants: monotone offsets covering nbr exactly,
@@ -145,6 +148,12 @@ func (c *CSR) Edges(fn func(u, v graph.VertexID) bool) {
 		}
 	}
 }
+
+// FlatAdjacency reports that every Adj slice aliases the single flat
+// 32-bit neighbour array — the graph.FlatAdjacency marker that routes
+// intersection through the width-specialised CSR kernels
+// (graph.KernelsFor).
+func (c *CSR) FlatAdjacency() bool { return true }
 
 // SizeBytes is the store's resident footprint (the two arrays).
 func (c *CSR) SizeBytes() int64 {

@@ -157,6 +157,44 @@ func TestConformanceWorkerParallelism(t *testing.T) {
 	}
 }
 
+// TestConformanceFrontierSplit forces the huge-group frontier split
+// (threshold 2 makes essentially every RADS round split) across worker
+// widths and checks oracle parity. Engines without the knob ignore it —
+// trivially conformant; for RADS this is the -race exercise of the
+// split's sharded state: guard-pinned frontier nodes, per-shard tries
+// and EVIs, and the shared view/budget under concurrent shards.
+func TestConformanceFrontierSplit(t *testing.T) {
+	part := conformancePart(t)
+	tr := conformanceTransport(t, part.M)
+	var radsSplits int64
+	for _, q := range conformanceQueries() {
+		want := localenum.Count(part.G, q, localenum.Options{})
+		for _, name := range engine.Names() {
+			e, _ := engine.Lookup(name)
+			for _, w := range []int{1, 2, 8} {
+				res, err := e.Run(context.Background(), engine.Request{
+					Part: part, Pattern: q, Workers: w, HugeFrontier: 2, Transport: tr,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d split: %v", name, q.Name, w, err)
+				}
+				if res.Total != want {
+					t.Errorf("%s/%s workers=%d split: count %d, oracle says %d",
+						name, q.Name, w, res.Total, want)
+				}
+				if name == "RADS" {
+					radsSplits += res.FrontierSplits
+				}
+			}
+		}
+	}
+	// The parity above is vacuous if the threshold never tripped; with
+	// HugeFrontier=2 RADS must have split rounds somewhere in the sweep.
+	if radsSplits == 0 {
+		t.Error("RADS reported zero frontier splits across the sweep; the split path was not exercised")
+	}
+}
+
 // TestConformanceWorkerStreaming checks that a streaming run with a
 // worker pool delivers exactly the counted embeddings — per-machine
 // delivery is serialized, so nothing may be lost or duplicated.

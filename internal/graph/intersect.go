@@ -30,12 +30,15 @@ package graph
 
 import "cmp"
 
-// gallopRatio is the size skew at which galloping beats the linear
-// merge. Benchmarks on skewed lists (see BenchmarkIntersect* at the
-// repository root) put the crossover between 4x and 16x; 8 is a robust
-// middle that keeps the adaptive kernel within a few percent of the
-// best choice at every ratio.
-const gallopRatio = 8
+// gallopRatioGeneric is the size skew at which galloping beats the
+// linear merge for the generic cmp.Ordered kernels. Benchmarks on
+// skewed lists (see BenchmarkIntersect* at the repository root) put
+// the crossover between 4x and 16x; 8 is a robust middle that keeps
+// the adaptive kernel within a few percent of the best choice at every
+// ratio. The 32-bit CSR kernels use their own bench-derived threshold
+// (gallopRatioU32 in intersect32.go) — the branchless merge moves the
+// crossover, so one hard-coded constant cannot serve both widths.
+const gallopRatioGeneric = 8
 
 // SearchSorted returns the smallest index i with a[i] >= v, or len(a).
 func SearchSorted[V cmp.Ordered](a []V, v V) int {
@@ -79,7 +82,7 @@ func IntersectSorted[V cmp.Ordered](dst, a, b []V) []V {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
-	if len(b) >= gallopRatio*len(a) {
+	if len(b) >= gallopRatioGeneric*len(a) {
 		countGallop()
 		return IntersectSortedGallop(dst, a, b)
 	}

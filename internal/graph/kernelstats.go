@@ -17,19 +17,27 @@ var (
 	kernelMerge    atomic.Int64
 	kernelGallop   atomic.Int64
 	kernelKWay     atomic.Int64
+	kernelMerge32  atomic.Int64
+	kernelGallop32 atomic.Int64
+	kernelKWay32   atomic.Int64
 )
 
 // SetKernelCounting turns kernel-selection counting on or off
 // process-wide.
 func SetKernelCounting(on bool) { kernelCounting.Store(on) }
 
-// KernelCounts returns the cumulative selection counts per kernel
-// ("merge", "gallop", "kway"). The map is freshly allocated.
+// KernelCounts returns the cumulative selection counts per kernel:
+// "merge", "gallop", "kway" for the generic cmp.Ordered kernels and
+// "merge_u32", "gallop_u32", "kway_u32" for the 32-bit CSR
+// specialisations (intersect32.go). The map is freshly allocated.
 func KernelCounts() map[string]int64 {
 	return map[string]int64{
-		"merge":  kernelMerge.Load(),
-		"gallop": kernelGallop.Load(),
-		"kway":   kernelKWay.Load(),
+		"merge":      kernelMerge.Load(),
+		"gallop":     kernelGallop.Load(),
+		"kway":       kernelKWay.Load(),
+		"merge_u32":  kernelMerge32.Load(),
+		"gallop_u32": kernelGallop32.Load(),
+		"kway_u32":   kernelKWay32.Load(),
 	}
 }
 
@@ -64,5 +72,23 @@ func countGallop() {
 func countKWay() {
 	if kernelCounting.Load() {
 		kernelKWay.Add(1)
+	}
+}
+
+func countMergeU32() {
+	if kernelCounting.Load() {
+		kernelMerge32.Add(1)
+	}
+}
+
+func countGallopU32() {
+	if kernelCounting.Load() {
+		kernelGallop32.Add(1)
+	}
+}
+
+func countKWayU32() {
+	if kernelCounting.Load() {
+		kernelKWay32.Add(1)
 	}
 }

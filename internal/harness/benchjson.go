@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"time"
 
 	"rads/internal/engine"
@@ -29,6 +30,15 @@ type EngineBenchResult struct {
 	// written before it decode with it nil, keeping -compare working
 	// against older baselines.
 	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+	// Runs is how many measured runs back this row; NsOp and the other
+	// measurements come from the median-ns run, which is what makes the
+	// strict CI gate viable (single-run engine wall times swung up to
+	// ~39% between back-to-back runs — see BENCH_NOTES.md). Additive
+	// fields: older baselines decode with 0.
+	Runs int `json:"runs,omitempty"`
+	// SpreadNsOp is (max-min)/median wall ns across the runs — the
+	// per-benchmark noise record the gate tolerance is judged against.
+	SpreadNsOp float64 `json:"spread_ns_op,omitempty"`
 }
 
 // BenchReport is the machine-readable payload radsbench -json writes —
@@ -51,10 +61,17 @@ func benchQueries() []*pattern.Pattern {
 	return []*pattern.Pattern{pattern.ByName("q1"), pattern.ByName("q4")}
 }
 
-// BenchJSON runs the micro-kernel suite and one measured run per
-// (engine, query) on the DBLP analog, and returns the report.
-// Preparation (plans, clique indexes) goes through a shared artifact
-// cache outside the clock, as a resident deployment would.
+// engineBenchRuns is the measured-run count per (engine, query). The
+// reported row is the median run: BENCH_NOTES.md's noise study found
+// single engine runs swinging up to ~39% back-to-back, and the median
+// of five pulls the spread inside the strict gate's 0.3 tolerance.
+const engineBenchRuns = 5
+
+// BenchJSON runs the micro-kernel suite and engineBenchRuns measured
+// runs per (engine, query) on the DBLP analog — reporting each pair's
+// median run — and returns the report. Preparation (plans, clique
+// indexes) goes through a shared artifact cache outside the clock, as
+// a resident deployment would.
 func BenchJSON(machines int, scale float64) (*BenchReport, error) {
 	rep := &BenchReport{
 		Note: "radsbench -json: kernel micro-benchmarks (candidates_seed_path is the pre-kernel " +
@@ -85,30 +102,40 @@ func BenchJSON(machines int, scale float64) (*BenchReport, error) {
 			if u := RunEngine(spec); u.Err != nil {
 				return nil, fmt.Errorf("bench warm-up %s/%s: %w", name, q.Name, u.Err)
 			}
-			var before, after runtime.MemStats
-			runtime.GC()
-			runtime.ReadMemStats(&before)
-			start := time.Now()
-			u := RunEngine(spec)
-			elapsed := time.Since(start)
-			runtime.ReadMemStats(&after)
-			if u.Err != nil {
-				return nil, fmt.Errorf("bench %s/%s: %w", name, q.Name, u.Err)
+			runs := make([]EngineBenchResult, 0, engineBenchRuns)
+			for n := 0; n < engineBenchRuns; n++ {
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				u := RunEngine(spec)
+				elapsed := time.Since(start)
+				runtime.ReadMemStats(&after)
+				if u.Err != nil {
+					return nil, fmt.Errorf("bench %s/%s: %w", name, q.Name, u.Err)
+				}
+				r := EngineBenchResult{
+					Engine:          name,
+					Dataset:         d.Name,
+					Pattern:         q.Name,
+					NsOp:            float64(elapsed.Nanoseconds()),
+					AllocsOp:        int64(after.Mallocs - before.Mallocs),
+					BytesOp:         int64(after.TotalAlloc - before.TotalAlloc),
+					Embeddings:      u.Total,
+					TreeNodesPerSec: u.TreeNodesPerSec(),
+				}
+				if secs := elapsed.Seconds(); secs > 0 {
+					r.EmbeddingsPerSec = float64(u.Total) / secs
+				}
+				r.PhaseSeconds = u.Profile.PhaseSeconds()
+				runs = append(runs, r)
 			}
-			r := EngineBenchResult{
-				Engine:          name,
-				Dataset:         d.Name,
-				Pattern:         q.Name,
-				NsOp:            float64(elapsed.Nanoseconds()),
-				AllocsOp:        int64(after.Mallocs - before.Mallocs),
-				BytesOp:         int64(after.TotalAlloc - before.TotalAlloc),
-				Embeddings:      u.Total,
-				TreeNodesPerSec: u.TreeNodesPerSec(),
-			}
-			if secs := elapsed.Seconds(); secs > 0 {
-				r.EmbeddingsPerSec = float64(u.Total) / secs
-			}
-			r.PhaseSeconds = u.Profile.PhaseSeconds()
+			// Report the median-ns run whole (its allocs/phases belong to
+			// that run), stamped with the sample count and spread.
+			sort.Slice(runs, func(i, j int) bool { return runs[i].NsOp < runs[j].NsOp })
+			r := runs[len(runs)/2]
+			r.Runs = len(runs)
+			r.SpreadNsOp = (runs[len(runs)-1].NsOp - runs[0].NsOp) / r.NsOp
 			rep.Engines = append(rep.Engines, r)
 		}
 	}

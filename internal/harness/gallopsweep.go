@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"rads/internal/dataset"
+	"rads/internal/graph"
+)
+
+// gallopSweepRatios are the skew points (|big| / |small|) the sweep
+// measures. The interesting region is around the merge/gallop
+// crossover; the endpoints pin the regimes where each kernel is the
+// clear winner.
+var gallopSweepRatios = []int{1, 2, 4, 8, 16, 32, 64}
+
+// rowWithDegreeNear returns the adjacency row whose length is closest
+// to want, skipping vertex not — a real row, with the overlap
+// structure real intersections see (subsampling a hub row spreads its
+// values thin and flatters galloping with skips that never happen in
+// enumeration; intersecting a row with itself at ratio 1 flatters
+// merging, which halves its step count on equal elements).
+func rowWithDegreeNear(c *dataset.CSR, want int, not graph.VertexID) (graph.VertexID, []graph.VertexID) {
+	best, bestDiff := graph.VertexID(0), 1<<30
+	for v := 0; v < c.NumVertices(); v++ {
+		if graph.VertexID(v) == not {
+			continue
+		}
+		d := c.Degree(graph.VertexID(v)) - want
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDiff {
+			best, bestDiff = graph.VertexID(v), d
+		}
+	}
+	return best, c.Adj(best)
+}
+
+// GallopSweep measures the merge-vs-gallop crossover of the
+// width-specialised u32 kernels on real rows of the ingested power-law
+// fixture: a fixed small row against real rows of increasing degree.
+// The crossover it finds is what gallopRatioU32 in
+// internal/graph/intersect32.go is pinned to; rerun with
+// `radsbench -exp gallopsweep` after touching the kernels and record
+// the table in BENCH_NOTES.md.
+func GallopSweep() *Table {
+	fx := NewMicroFixture()
+	smallV, small := rowWithDegreeNear(fx.CSR, 64, -1)
+	t := &Table{
+		Title:  "gallop crossover sweep: u32 kernels on CSR power-law rows",
+		Header: []string{"ratio", "|small|", "|big|", "merge ns/op", "gallop ns/op", "winner"},
+	}
+	for _, ratio := range gallopSweepRatios {
+		_, big := rowWithDegreeNear(fx.CSR, len(small)*ratio, smallV)
+		if len(big) < len(small)*ratio/2 {
+			break // the graph has no row this skewed
+		}
+		merge := testing.Benchmark(func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(small))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = graph.IntersectSortedMergeU32(dst, small, big)
+			}
+		})
+		gallop := testing.Benchmark(func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(small))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = graph.IntersectSortedGallopU32(dst, small, big)
+			}
+		})
+		mergeNs := float64(merge.T.Nanoseconds()) / float64(merge.N)
+		gallopNs := float64(gallop.T.Nanoseconds()) / float64(gallop.N)
+		winner := "merge"
+		if gallopNs < mergeNs {
+			winner = "gallop"
+		}
+		t.AddRow(fmt.Sprintf("%dx", ratio), fmt.Sprintf("%d", len(small)),
+			fmt.Sprintf("%d", len(big)), F(mergeNs), F(gallopNs), winner)
+	}
+	return t
+}

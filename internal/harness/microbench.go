@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"sort"
 	"testing"
 
+	"rads/internal/dataset"
 	"rads/internal/gen"
 	"rads/internal/graph"
 )
@@ -32,6 +34,17 @@ type MicroFixture struct {
 	HubA, HubB []graph.VertexID // |HubA| <= |HubB|
 	HubBV      graph.VertexID   // the vertex whose adjacency is HubB
 	HubLB      graph.VertexID   // symmetry lower bound for the hub scenario
+
+	// CSR is G rebuilt in the ingested flat compressed-sparse-row
+	// layout; every CSR* list below aliases its single flat 32-bit
+	// neighbour array and holds the same vertices as its generic
+	// counterpart. The *_u32 micro rows run on these, so the u32/generic
+	// pairs differ only in kernel and memory layout — exactly the
+	// dispatch decision graph.KernelsFor makes.
+	CSR              *dataset.CSR
+	CSRSmall, CSRBig []graph.VertexID
+	CSRMid           []graph.VertexID
+	CSRHubA, CSRHubB []graph.VertexID
 }
 
 // NewMicroFixture builds the shared benchmark scenario on a power-law
@@ -51,21 +64,23 @@ func NewMicroFixture() *MicroFixture {
 	// overlap); Mid: another list of comparable size for the merge
 	// regime.
 	var small, mid []graph.VertexID
+	smallV, midV := graph.VertexID(-1), graph.VertexID(-1)
 	for _, v := range g.Adj(hub) {
 		if d := g.Degree(v); d >= 48 && d <= 160 {
 			if small == nil {
-				small = g.Adj(v)
+				small, smallV = g.Adj(v), v
 			} else if len(g.Adj(v)) != len(small) {
-				mid = g.Adj(v)
+				mid, midV = g.Adj(v), v
 				break
 			}
 		}
 	}
 	if small == nil {
-		small = g.Adj(g.Adj(hub)[0])
+		smallV = g.Adj(hub)[0]
+		small = g.Adj(smallV)
 	}
 	if mid == nil {
-		mid = small
+		mid, midV = small, smallV
 	}
 	// Second hub for the hub-heavy candidate scenario.
 	hub2 := graph.VertexID(-1)
@@ -75,20 +90,27 @@ func NewMicroFixture() *MicroFixture {
 			hub2 = vv
 		}
 	}
-	hubA, hubB, hubBV := g.Adj(hub2), g.Adj(hub), hub
+	hubA, hubB, hubAV, hubBV := g.Adj(hub2), g.Adj(hub), hub2, hub
 	if len(hubA) > len(hubB) {
 		hubA, hubB = hubB, hubA
-		hubBV = hub2
+		hubAV, hubBV = hubBV, hubAV
 	}
+	c := dataset.FromStore(g)
 	return &MicroFixture{
-		G:     g,
-		Small: small,
-		Big:   g.Adj(hub),
-		Mid:   mid,
-		HubA:  hubA,
-		HubB:  hubB,
-		HubBV: hubBV,
-		HubLB: hubA[len(hubA)/2],
+		G:        g,
+		Small:    small,
+		Big:      g.Adj(hub),
+		Mid:      mid,
+		HubA:     hubA,
+		HubB:     hubB,
+		HubBV:    hubBV,
+		HubLB:    hubA[len(hubA)/2],
+		CSR:      c,
+		CSRSmall: c.Adj(smallV),
+		CSRBig:   c.Adj(hub),
+		CSRMid:   c.Adj(midV),
+		CSRHubA:  c.Adj(hubAV),
+		CSRHubB:  c.Adj(hubBV),
 	}
 }
 
@@ -127,13 +149,35 @@ func (fx *MicroFixture) KernelCandidates(dst []graph.VertexID) []graph.VertexID 
 	return graph.IntersectSortedFrom(dst, fx.HubA, fx.HubB, fx.HubLB)
 }
 
+// KernelCandidatesU32 is KernelCandidates through the width-specialised
+// CSR kernel set on the flat-array rows — the path a CSR-backed store
+// dispatches to via graph.KernelsFor.
+func (fx *MicroFixture) KernelCandidatesU32(dst []graph.VertexID) []graph.VertexID {
+	return graph.IntersectSortedFromU32(dst, fx.CSRHubA, fx.CSRHubB, fx.HubLB)
+}
+
 // MicroResult is one micro-benchmark measurement for BENCH_PR3.json.
 type MicroResult struct {
 	Name     string  `json:"name"`
 	NsOp     float64 `json:"ns_op"`
 	AllocsOp int64   `json:"allocs_op"`
 	BytesOp  int64   `json:"bytes_op"`
+	// Runs and SpreadNsOp mirror the engine section's median reporting:
+	// NsOp is the median of Runs testing.Benchmark measurements and
+	// SpreadNsOp is their (max-min)/median. Additive fields — older
+	// baselines decode with 0.
+	Runs       int     `json:"runs,omitempty"`
+	SpreadNsOp float64 `json:"spread_ns_op,omitempty"`
 }
+
+// microBenchRuns is the per-row sample count of RunMicroBenchmarks.
+// Micro rows are steadier than engine runs within one process
+// (BENCH_NOTES.md measured them within ~14% back-to-back), but the
+// single-core bench host drifts between sections of a run, so each row
+// takes five samples and reports the median; the suite below also
+// orders every *_u32 row directly after its generic twin so a pair's
+// samples land on near-identical machine state.
+const microBenchRuns = 5
 
 // MicroBenchmark is one named kernel benchmark body, shared verbatim
 // between the root-level BenchmarkIntersect sub-benchmarks and the
@@ -149,13 +193,35 @@ type MicroBenchmark struct {
 func MicroBenchmarks(fx *MicroFixture) []MicroBenchmark {
 	return []MicroBenchmark{
 		// Linear merge on similarly sized lists — the regime where
-		// merging is the right kernel.
+		// merging is the right kernel. Every *_u32 row below runs the
+		// width-specialised CSR kernel (PR 9) on the same vertices, rows
+		// aliasing the flat int32 neighbour array, directly after its
+		// generic twin; the u32 one must not be slower.
 		{"merge_comparable", func(b *testing.B) {
 			dst := make([]graph.VertexID, 0, len(fx.Small))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				dst = graph.IntersectSortedMerge(dst, fx.Small, fx.Mid)
+			}
+		}},
+		{"merge_comparable_u32", func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(fx.CSRSmall))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = graph.IntersectSortedMergeU32(dst, fx.CSRSmall, fx.CSRMid)
+			}
+		}},
+		// The speculative-store branchless merge, on the same rows as
+		// merge_comparable_u32 — the measured negative that keeps it off
+		// the dispatch path (see IntersectSortedMergeBranchlessU32).
+		{"merge_branchless_u32", func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(fx.CSRSmall))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = graph.IntersectSortedMergeBranchlessU32(dst, fx.CSRSmall, fx.CSRMid)
 			}
 		}},
 		// The seed kernel on a skewed pair (candidate list vs hub
@@ -168,6 +234,14 @@ func MicroBenchmarks(fx *MicroFixture) []MicroBenchmark {
 				dst = graph.IntersectSortedMerge(dst, fx.Small, fx.Big)
 			}
 		}},
+		{"merge_skewed_u32", func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(fx.CSRSmall))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = graph.IntersectSortedMergeU32(dst, fx.CSRSmall, fx.CSRBig)
+			}
+		}},
 		// Galloping on the same skewed pair.
 		{"gallop_skewed", func(b *testing.B) {
 			dst := make([]graph.VertexID, 0, len(fx.Small))
@@ -175,6 +249,14 @@ func MicroBenchmarks(fx *MicroFixture) []MicroBenchmark {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				dst = graph.IntersectSortedGallop(dst, fx.Small, fx.Big)
+			}
+		}},
+		{"gallop_skewed_u32", func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(fx.CSRSmall))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = graph.IntersectSortedGallopU32(dst, fx.CSRSmall, fx.CSRBig)
 			}
 		}},
 		// Three-list adaptive fold, shortest first.
@@ -186,6 +268,16 @@ func MicroBenchmarks(fx *MicroFixture) []MicroBenchmark {
 			for i := 0; i < b.N; i++ {
 				lists[0], lists[1], lists[2] = fx.Mid, fx.Small, fx.Big
 				dst = graph.IntersectMany(dst, lists...)
+			}
+		}},
+		{"kway_u32", func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(fx.CSRSmall))
+			lists := make([][]graph.VertexID, 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lists[0], lists[1], lists[2] = fx.CSRMid, fx.CSRSmall, fx.CSRBig
+				dst = graph.IntersectManyU32(dst, lists...)
 			}
 		}},
 		// The pre-kernel enumerator's hub-heavy candidate generation:
@@ -219,22 +311,47 @@ func MicroBenchmarks(fx *MicroFixture) []MicroBenchmark {
 				b.Fatal("fixture produced no candidates")
 			}
 		}},
+		// The same candidate set through the width-specialised CSR kernel
+		// set on the flat-array rows — the path graph.KernelsFor dispatches
+		// CSR-backed stores to.
+		{"candidates_kernel_path_u32", func(b *testing.B) {
+			dst := make([]graph.VertexID, 0, len(fx.CSRHubA))
+			b.ReportAllocs()
+			b.ResetTimer()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				dst = fx.KernelCandidatesU32(dst)
+				n += len(dst)
+			}
+			if n == 0 {
+				b.Fatal("fixture produced no candidates")
+			}
+		}},
 	}
 }
 
-// RunMicroBenchmarks measures the shared suite with testing.Benchmark
-// for the radsbench -json report.
+// RunMicroBenchmarks measures the shared suite with testing.Benchmark,
+// microBenchRuns times per row, and reports each row's median run for
+// the radsbench -json report.
 func RunMicroBenchmarks() []MicroResult {
 	fx := NewMicroFixture()
 	var out []MicroResult
 	for _, mb := range MicroBenchmarks(fx) {
-		r := testing.Benchmark(mb.Fn)
-		out = append(out, MicroResult{
-			Name:     mb.Name,
-			NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsOp: r.AllocsPerOp(),
-			BytesOp:  r.AllocedBytesPerOp(),
-		})
+		runs := make([]MicroResult, 0, microBenchRuns)
+		for n := 0; n < microBenchRuns; n++ {
+			r := testing.Benchmark(mb.Fn)
+			runs = append(runs, MicroResult{
+				Name:     mb.Name,
+				NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsOp: r.AllocsPerOp(),
+				BytesOp:  r.AllocedBytesPerOp(),
+			})
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].NsOp < runs[j].NsOp })
+		med := runs[len(runs)/2]
+		med.Runs = len(runs)
+		med.SpreadNsOp = (runs[len(runs)-1].NsOp - runs[0].NsOp) / med.NsOp
+		out = append(out, med)
 	}
 	return out
 }

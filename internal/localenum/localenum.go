@@ -88,6 +88,7 @@ const noUpperBound = graph.VertexID(math.MaxInt32)
 // per goroutine.
 type Enumerator struct {
 	g       graph.Store
+	kern    graph.Kernels // intersection kernels matched to g's layout
 	p       *pattern.Pattern
 	order   []pattern.VertexID
 	allowed func(graph.VertexID) bool
@@ -121,6 +122,7 @@ func New(g graph.Store, p *pattern.Pattern, opts Options) *Enumerator {
 	}
 	e := &Enumerator{
 		g:       g,
+		kern:    graph.KernelsFor(g),
 		p:       p,
 		order:   order,
 		allowed: opts.Allowed,
@@ -274,7 +276,7 @@ func (e *Enumerator) extend(i int) {
 			lists = append(lists, e.g.Adj(e.f[w]))
 		}
 		e.lists = lists
-		e.cand[i] = graph.IntersectManyFrom(e.cand[i], lb, lists...)
+		e.cand[i] = e.kern.IntersectManyFrom(e.cand[i], lb, lists...)
 		cands = e.cand[i]
 	}
 

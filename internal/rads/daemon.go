@@ -177,6 +177,7 @@ func (d *Machine) runQuery(r *RunQueryRequest) (cluster.Message, error) {
 		Workers:                  workers,
 		Trace:                    trace,
 		GroupMemTarget:           r.GroupMemTarget,
+		HugeFrontier:             r.HugeFrontier,
 		DisableSME:               r.DisableSME,
 		DisableEndVertexCounting: r.DisableEndVertexCounting,
 		DisableCache:             r.DisableCache,
@@ -205,23 +206,24 @@ func (d *Machine) runQuery(r *RunQueryRequest) (cluster.Message, error) {
 	d.cur.Store(nil)
 
 	resp := &RunQueryResponse{
-		SME:          m.smeCount,
-		Distributed:  m.distCount,
-		SMENodes:     m.smeNodes,
-		DistNodes:    m.distNodes,
-		ElapsedNs:    int64(m.elapsed),
-		ELBytesCum:   m.elCum,
-		ETBytesCum:   m.etCum,
-		ELBytesPeak:  m.elPeak,
-		ETBytesPeak:  m.etPeak,
-		GroupsFormed: m.groupsFormed,
-		GroupsStolen: m.groupsStolen,
-		Rounds:       eng.pl.NumRounds(),
-		Workers:      eng.workers(),
-		DeferredEnds: len(eng.deferred),
-		PhaseNs:      trace.PhaseNs(),
-		CacheHits:    m.view.hits.Load(),
-		CacheMisses:  m.view.misses.Load(),
+		SME:            m.smeCount,
+		Distributed:    m.distCount,
+		SMENodes:       m.smeNodes,
+		DistNodes:      m.distNodes,
+		ElapsedNs:      int64(m.elapsed),
+		ELBytesCum:     m.elCum,
+		ETBytesCum:     m.etCum,
+		ELBytesPeak:    m.elPeak,
+		ETBytesPeak:    m.etPeak,
+		GroupsFormed:   m.groupsFormed,
+		GroupsStolen:   m.groupsStolen,
+		Rounds:         eng.pl.NumRounds(),
+		Workers:        eng.workers(),
+		DeferredEnds:   len(eng.deferred),
+		FrontierSplits: m.frontierSplits,
+		PhaseNs:        trace.PhaseNs(),
+		CacheHits:      m.view.hits.Load(),
+		CacheMisses:    m.view.misses.Load(),
 	}
 	if cfg.Budget != nil {
 		resp.PeakMemBytes = cfg.Budget.MaxPeak()

@@ -70,6 +70,16 @@ type Config struct {
 	// identical at any setting — workers only share the group queue and
 	// commutative counters.
 	Workers int
+	// HugeFrontier is the frontier size (live results entering a round)
+	// at which one region group's expansion is split across the
+	// machine's worker pool instead of running on the single pool worker
+	// that owns the group. Hub-seeded groups concentrate most of a
+	// machine's work into one group; without the split that group
+	// serialises the machine no matter how many Workers it has. 0
+	// derives the default (4096); negative disables splitting. Counts
+	// are identical at any setting — the split only shards scratch state
+	// and counters, merged at the round barrier.
+	HugeFrontier int
 	// Trace, if non-nil, receives the run's phase spans: top-level
 	// "plan"/"execute"/"fold" tile the run; "execute/..." sub-phases
 	// (sme, grouping, group, steal, fetchV, verifyE, machine) carry
@@ -129,6 +139,11 @@ type Result struct {
 	StolenGroups int // groups processed via shareR
 	Rounds       int // rounds per region group (= plan units)
 	Workers      int // enumeration workers per machine this run used
+
+	// FrontierSplits counts rounds whose frontier exceeded the
+	// HugeFrontier threshold and were expanded across the worker pool
+	// instead of on the owning pool worker.
+	FrontierSplits int64
 
 	// Per-machine breakdown, indexed like MachineElapsed: tree nodes
 	// linked, region groups formed and groups stolen by each machine —
@@ -407,6 +422,26 @@ func (e *engine) workers() int {
 	return w
 }
 
+// defaultHugeFrontier is the frontier size at which splitting a round
+// across the pool pays for the per-worker state it shards: below a few
+// thousand frontier nodes the segment usually verifies and descends in
+// well under the time a goroutine hand-off costs, and groups that small
+// already interleave with other groups on the pool.
+const defaultHugeFrontier = 4096
+
+// hugeFrontier resolves Config.HugeFrontier: 0 means the default
+// threshold, negative disables splitting (returns 0).
+func (e *engine) hugeFrontier() int {
+	switch {
+	case e.cfg.HugeFrontier > 0:
+		return e.cfg.HugeFrontier
+	case e.cfg.HugeFrontier < 0:
+		return 0
+	default:
+		return defaultHugeFrontier
+	}
+}
+
 func (e *engine) groupMemTarget() int64 {
 	if e.cfg.GroupMemTarget > 0 {
 		return e.cfg.GroupMemTarget
@@ -472,6 +507,7 @@ func (e *engine) run() (*Result, error) {
 		res.MachineStolen = append(res.MachineStolen, m.groupsStolen)
 		res.CacheHits += m.view.hits.Load()
 		res.CacheMisses += m.view.misses.Load()
+		res.FrontierSplits += m.frontierSplits
 	}
 	if e.cfg.Budget != nil {
 		res.PeakMemBytes = e.cfg.Budget.MaxPeak()

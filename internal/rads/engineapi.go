@@ -77,13 +77,14 @@ func (e apiEngine) Run(ctx context.Context, req eng.Request) (eng.Result, error)
 		trace = obs.NewTrace()
 	}
 	cfg := Config{
-		Context:     ctx,
-		Metrics:     req.Metrics,
-		Budget:      req.Budget,
-		OnEmbedding: req.OnEmbedding,
-		Workers:     req.Workers,
-		Transport:   req.Transport,
-		Trace:       trace,
+		Context:      ctx,
+		Metrics:      req.Metrics,
+		Budget:       req.Budget,
+		OnEmbedding:  req.OnEmbedding,
+		Workers:      req.Workers,
+		HugeFrontier: req.HugeFrontier,
+		Transport:    req.Transport,
+		Trace:        trace,
 	}
 	if req.Artifact != nil {
 		pa, ok := req.Artifact.(PlanArtifact)
@@ -122,7 +123,8 @@ func (e apiEngine) Run(ctx context.Context, req eng.Request) (eng.Result, error)
 		prof.Machines = append(prof.Machines, ms)
 	}
 	return eng.Result{Total: res.Total, Seconds: secs, TreeNodes: res.TreeNodes,
-		PeakMemBytes: res.PeakMemBytes, Profile: prof}, nil
+		FrontierSplits: res.FrontierSplits, PeakMemBytes: res.PeakMemBytes,
+		Profile: prof}, nil
 }
 
 func init() { eng.Register(apiEngine{}) }

@@ -54,6 +54,10 @@ type machine struct {
 	groupsFormed int
 	groupsStolen int
 
+	// frontierSplits counts rounds expanded across the worker pool
+	// because their frontier exceeded the HugeFrontier threshold.
+	frontierSplits int64
+
 	// embMu serializes OnEmbedding delivery within this machine so
 	// streaming consumers observe one well-ordered stream per machine
 	// regardless of Workers.

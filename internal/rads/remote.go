@@ -131,10 +131,11 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 		}
 	}
 	wire := &RunQueryRequest{
-		Pattern:     pattern.Format(req.Pattern),
-		Plan:        pl,
-		Workers:     req.Workers,
-		BudgetBytes: req.Budget.Limit(),
+		Pattern:      pattern.Format(req.Pattern),
+		Plan:         pl,
+		Workers:      req.Workers,
+		BudgetBytes:  req.Budget.Limit(),
+		HugeFrontier: req.HugeFrontier,
 	}
 
 	c.mu.Lock()
@@ -207,6 +208,7 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 	for t, r := range resps {
 		res.Total += r.SME + r.Distributed
 		res.TreeNodes += r.SMENodes + r.DistNodes
+		res.FrontierSplits += r.FrontierSplits
 		if r.OOM {
 			res.OOM = true
 		}

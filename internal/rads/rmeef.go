@@ -3,6 +3,8 @@ package rads
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rads/internal/cluster"
 	"rads/internal/etrie"
@@ -51,6 +53,14 @@ type groupState struct {
 	// materializing the whole round. 0 disables segmentation (the
 	// paper's plain per-round batching).
 	flushNodes int
+
+	// sub marks a per-worker shard state of a split round
+	// (expandRoundParallel); shards never split again, so one group
+	// claims the pool at most once at a time.
+	sub bool
+
+	// splits counts rounds this group expanded across the worker pool.
+	splits int64
 
 	// Per-group result shards, merged into the machine when the group
 	// completes.
@@ -115,6 +125,7 @@ func (m *machine) processGroup(group []graph.VertexID, worker int) error {
 	if st.etPeak > m.etPeak {
 		m.etPeak = st.etPeak
 	}
+	m.frontierSplits += st.splits
 	m.mu.Unlock()
 	return err
 }
@@ -194,12 +205,146 @@ func (m *machine) runRounds(st *groupState, round int, frontier []*etrie.Node) e
 	if err := m.fetchForeignPivots(st, round, frontier); err != nil {
 		return err
 	}
+	// Huge-group frontier parallelism: a hub-seeded group can hold most
+	// of a machine's work in one frontier, serialising the machine on
+	// the single pool worker that owns the group. Past the threshold the
+	// frontier is sharded across the pool; the shards resolve their
+	// subtrees completely (expand, verify, descend), so on return the
+	// round — and everything below it — is done.
+	if thr := e.hugeFrontier(); thr > 0 && !st.sub && len(frontier) >= thr && e.workers() > 1 {
+		return m.expandRoundParallel(st, round, frontier)
+	}
 	if err := m.expandRound(st, round, frontier); err != nil {
 		return err
 	}
 	// End-of-round flush: verify and filter whatever the expansion
 	// produced since the last mid-round flush, then descend.
 	return m.flushSegment(st, round)
+}
+
+// expandRoundParallel expands one huge frontier across the machine's
+// worker pool. Each worker owns a shard groupState — its own trie
+// accounting, EVI, embedding frame, scratch and counter shards — and
+// claims disjoint frontier chunks from an atomic cursor, so workers
+// share only the view (mutex-guarded), the budget (mutex-guarded) and
+// the transport. Chunks run the unchanged sequential machinery
+// (expandRound + flushSegment), which resolves each chunk's entire
+// subtree down to emitted results before the next chunk is claimed.
+//
+// Trie safety: nodes are free-standing (the Trie is accounting), so a
+// worker linking children under a frontier node F touches only F's
+// child counter — and disjoint chunks make F worker-exclusive. Shared
+// ancestors of the frontier are protected by guard pins: the
+// coordinator pins every frontier node before the fan-out, so a
+// worker-side removal cascade stops at F (its counter never reaches
+// zero) and cannot cross into nodes another worker can see. After the
+// barrier the coordinator drops the guards single-threaded, which
+// removes frontier nodes whose whole subtree resolved — the same
+// semantics expandRound's per-parent Unpin gives the sequential path.
+func (m *machine) expandRoundParallel(st *groupState, round int, frontier []*etrie.Node) error {
+	e := m.e
+	sp := e.cfg.Trace.Start("execute/splitRound", m.id, -1)
+	defer sp.End()
+	st.splits++
+
+	guards := make([]*etrie.Node, 0, len(frontier))
+	for _, n := range frontier {
+		if n.Dead() {
+			continue
+		}
+		st.trie.Pin(n)
+		guards = append(guards, n)
+	}
+
+	workers := e.workers()
+	// Small chunks load-balance the skew this path exists for (one hub
+	// parent can dwarf a thousand ordinary ones), but each chunk pays a
+	// flush; 8 claims per worker keeps both costs marginal.
+	chunk := len(guards) / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+
+	subs := make([]*groupState, workers)
+	errs := make([]error, workers)
+	var cursor atomic.Int64
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sub := &groupState{
+			trie:       etrie.New(len(e.redOrder)),
+			evi:        etrie.NewEVI(),
+			view:       st.view,
+			f:          make([]graph.VertexID, e.p.N()),
+			used:       make(map[graph.VertexID]bool, e.p.N()),
+			flushNodes: st.flushNodes,
+			sub:        true,
+		}
+		for i := range sub.f {
+			sub.f[i] = -1
+		}
+		subs[w] = sub
+		wg.Add(1)
+		go func(w int, sub *groupState) {
+			defer wg.Done()
+			for !aborted.Load() {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= len(guards) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(guards) {
+					hi = len(guards)
+				}
+				if err := e.checkCtx(); err != nil {
+					errs[w] = err
+					aborted.Store(true)
+					return
+				}
+				if err := m.expandRound(sub, round, guards[lo:hi]); err != nil {
+					errs[w] = err
+					aborted.Store(true)
+					return
+				}
+				if err := m.flushSegment(sub, round); err != nil {
+					errs[w] = err
+					aborted.Store(true)
+					return
+				}
+			}
+		}(w, sub)
+	}
+	wg.Wait()
+
+	var firstErr error
+	for w, sub := range subs {
+		// Release shard charges and any pins an error path left behind,
+		// then merge the shard counters into the group (also on failure,
+		// so partial work stays accounted).
+		e.cfg.Budget.Release(m.id, sub.chargedTrie)
+		sub.chargedTrie = 0
+		sub.unpinTo(0)
+		st.distCount += sub.distCount
+		st.nodes += sub.nodes
+		st.elCum += sub.elCum
+		st.etCum += sub.etCum
+		if sub.elPeak > st.elPeak {
+			st.elPeak = sub.elPeak
+		}
+		if sub.etPeak > st.etPeak {
+			st.etPeak = sub.etPeak
+		}
+		if errs[w] != nil && firstErr == nil {
+			firstErr = errs[w]
+		}
+	}
+	for _, n := range guards {
+		st.trie.Unpin(n)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return m.chargeTrie(st)
 }
 
 // flushSegment closes the current segment of round `round`: it

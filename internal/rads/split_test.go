@@ -1,0 +1,137 @@
+package rads
+
+import (
+	"sync"
+	"testing"
+
+	"rads/internal/cluster"
+	"rads/internal/gen"
+	"rads/internal/graph"
+	"rads/internal/partition"
+	"rads/internal/pattern"
+)
+
+// TestFrontierSplitParity is the count-parity oracle test of the
+// huge-group frontier split: with the threshold forced low enough that
+// essentially every round splits, counts must match the sequential
+// oracle at every worker width, and the split must demonstrably fire
+// when it can (Workers > 1) and never when it cannot (Workers == 1).
+func TestFrontierSplitParity(t *testing.T) {
+	g := gen.PowerLaw(220, 6, 2.4, 120, 11)
+	part := partition.KWay(g, 3, 5)
+	for _, name := range []string{"q1", "q4", "cq1"} {
+		p := pattern.ByName(name)
+		want := oracleCount(g, p)
+		if want == 0 {
+			t.Fatalf("%s: oracle found nothing; test graph too sparse", name)
+		}
+		for _, w := range []int{1, 2, 8} {
+			res, err := Run(part, p, Config{
+				DisableSME:   true, // all candidates through R-Meef rounds
+				Workers:      w,
+				HugeFrontier: 2,
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			if res.Total != want {
+				t.Errorf("%s workers=%d: Total = %d, want %d", name, w, res.Total, want)
+			}
+			if w > 1 && res.FrontierSplits == 0 {
+				t.Errorf("%s workers=%d: no frontier split fired with threshold 2", name, w)
+			}
+			if w == 1 && res.FrontierSplits != 0 {
+				t.Errorf("%s workers=1: %d frontier splits; one worker has nothing to split across",
+					name, res.FrontierSplits)
+			}
+		}
+	}
+}
+
+// TestFrontierSplitUnderMemoryPressure drives the split through the
+// paths that share mutable machinery across shards: a tiny group memory
+// target forces mid-round flushes inside every shard, and a budget
+// keeps the cache valve and trie charges active concurrently.
+func TestFrontierSplitUnderMemoryPressure(t *testing.T) {
+	g := gen.PowerLaw(200, 6, 2.4, 100, 23)
+	part := partition.KWay(g, 3, 9)
+	p := pattern.ByName("q4")
+	want := oracleCount(g, p)
+	res, err := Run(part, p, Config{
+		DisableSME:     true,
+		Workers:        4,
+		HugeFrontier:   2,
+		GroupMemTarget: 4096, // a handful of trie nodes per segment
+		Budget:         cluster.NewMemBudget(part.M, 64<<20),
+	})
+	if err != nil {
+		t.Fatalf("split under pressure: %v", err)
+	}
+	if res.Total != want {
+		t.Errorf("Total = %d, want %d", res.Total, want)
+	}
+	if res.FrontierSplits == 0 {
+		t.Error("no frontier split fired")
+	}
+}
+
+// TestFrontierSplitDisabled pins the negative-threshold escape hatch.
+func TestFrontierSplitDisabled(t *testing.T) {
+	g := gen.Community(4, 12, 0.35, 8)
+	p := pattern.ByName("q1")
+	want := oracleCount(g, p)
+	res, err := Run(partition.KWay(g, 3, 5), p, Config{
+		DisableSME:   true,
+		Workers:      4,
+		HugeFrontier: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != want {
+		t.Errorf("Total = %d, want %d", res.Total, want)
+	}
+	if res.FrontierSplits != 0 {
+		t.Errorf("HugeFrontier=-1 still split %d rounds", res.FrontierSplits)
+	}
+}
+
+// TestFrontierSplitStreaming checks that split rounds deliver streamed
+// embeddings exactly once. OnEmbedding disables end-vertex deferral, so
+// this also covers split shards that emit full embeddings.
+func TestFrontierSplitStreaming(t *testing.T) {
+	g := gen.Community(5, 14, 0.3, 31)
+	part := partition.KWay(g, 3, 5)
+	p := pattern.ByName("q1")
+	want := oracleCount(g, p)
+	seen := make(map[[8]int32]int)
+	var mu sync.Mutex
+	res, err := Run(part, p, Config{
+		DisableSME:   true,
+		Workers:      8,
+		HugeFrontier: 2,
+		OnEmbedding: func(machine int, f []graph.VertexID) {
+			var key [8]int32
+			for i, v := range f {
+				key[i] = int32(v)
+			}
+			mu.Lock()
+			seen[key]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != want {
+		t.Errorf("Total = %d, want %d", res.Total, want)
+	}
+	if int64(len(seen)) != want {
+		t.Errorf("streamed %d distinct embeddings, want %d", len(seen), want)
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("embedding %v delivered %d times", key, n)
+		}
+	}
+}

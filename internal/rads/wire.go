@@ -26,9 +26,13 @@ type RunQueryRequest struct {
 
 	// Config knobs that survive the wire. Workers 0 lets the hosting
 	// daemon pick its own default (its share of the process's CPUs).
+	// HugeFrontier follows Config.HugeFrontier semantics (0 default,
+	// negative disables); as a new gob field it decodes as 0 — the
+	// default — against older coordinators.
 	Workers        int
 	BudgetBytes    int64
 	GroupMemTarget int64
+	HugeFrontier   int
 
 	DisableSME               bool
 	DisableEndVertexCounting bool
@@ -40,7 +44,7 @@ type RunQueryRequest struct {
 // ByteSize estimates the wire size: the pattern text, the plan's
 // integer payload, and the fixed knobs.
 func (r *RunQueryRequest) ByteSize() int {
-	n := len(r.Pattern) + 8*4 + 5
+	n := len(r.Pattern) + 8*5 + 5
 	if r.Plan != nil {
 		n += 8 * (len(r.Plan.Order) + len(r.Plan.Pos) + len(r.Plan.PrefixLen))
 		for i := range r.Plan.Units {
@@ -74,6 +78,11 @@ type RunQueryResponse struct {
 	Workers      int
 	DeferredEnds int
 
+	// FrontierSplits counts this machine's R-Meef rounds expanded
+	// across its worker pool because the region-group frontier exceeded
+	// the HugeFrontier threshold.
+	FrontierSplits int64
+
 	PeakMemBytes int64
 
 	// OOM reports that this machine died of its memory budget — an
@@ -100,7 +109,7 @@ type RunQueryResponse struct {
 
 // ByteSize counts the fixed-width fields plus the phase map payload.
 func (r *RunQueryResponse) ByteSize() int {
-	n := 19*8 + 1
+	n := 20*8 + 1
 	for k := range r.PhaseNs {
 		n += len(k) + 8
 	}

@@ -43,6 +43,10 @@ type EngineResult struct {
 	// engine reports them (0 otherwise); the service accumulates it
 	// into the tree_nodes_total stat.
 	TreeNodes int64
+	// FrontierSplits counts the run's huge-group frontier splits when
+	// the engine reports them (0 otherwise); accumulated into the
+	// frontier_splits stat.
+	FrontierSplits int64
 	// PeakMemBytes is the engine-reported memory high-water mark (max
 	// over machines). The cluster coordinator fills it from the remote
 	// workers; for in-process engines the per-query MemBudget usually
@@ -111,8 +115,8 @@ func (s *Service) registryEngine(e engine.Engine) EngineFunc {
 			return EngineResult{}, err
 		}
 		return EngineResult{Total: res.Total, Seconds: res.Seconds, OOM: res.OOM,
-			TreeNodes: res.TreeNodes, PeakMemBytes: res.PeakMemBytes,
-			Profile: res.Profile}, nil
+			TreeNodes: res.TreeNodes, FrontierSplits: res.FrontierSplits,
+			PeakMemBytes: res.PeakMemBytes, Profile: res.Profile}, nil
 	}
 }
 

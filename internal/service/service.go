@@ -183,6 +183,9 @@ type Service struct {
 	running     atomic.Int64
 	queued      atomic.Int64
 	treeNodes   atomic.Int64
+	// frontierSplits accumulates FrontierSplits across runs — how often
+	// the huge-group frontier parallelism actually fired.
+	frontierSplits atomic.Int64
 }
 
 // Open loads g into a new Service: partitions it across cfg.Machines
@@ -254,6 +257,9 @@ func (s *Service) initObs() {
 	reg.CounterFunc("rads_tree_nodes_total",
 		"Successful partial matches (search-tree nodes) across all runs.",
 		s.treeNodes.Load)
+	reg.CounterFunc("rads_frontier_splits_total",
+		"R-Meef rounds whose region-group frontier was expanded across the worker pool.",
+		s.frontierSplits.Load)
 	reg.GaugeFunc("rads_queries_running",
 		"Queries currently executing.", func() float64 {
 			return float64(s.running.Load())
@@ -592,6 +598,7 @@ func (s *Service) serve(ctx context.Context, h *Handle, fn EngineFunc, key strin
 	s.recordProfile(prof, elapsed)
 
 	s.treeNodes.Add(res.TreeNodes)
+	s.frontierSplits.Add(res.FrontierSplits)
 	out := Result{
 		Pattern:   h.query.Pattern.Name,
 		Canonical: key,
@@ -701,6 +708,10 @@ type Stats struct {
 	// run that reported them — the service-level throughput numerator
 	// (tree-nodes/sec against UptimeSec).
 	TreeNodesTotal int64 `json:"tree_nodes_total"`
+	// FrontierSplits accumulates R-Meef rounds expanded across the
+	// worker pool because a region group's frontier exceeded the
+	// HugeFrontier threshold.
+	FrontierSplits int64 `json:"frontier_splits"`
 
 	// Prepared-artifact cache (the generalization of the old RADS-only
 	// plan catalog): entries across all engines plus accounted bytes.
@@ -735,6 +746,7 @@ func (s *Service) Stats() Stats {
 		CacheHits:      s.cacheHits.Load(),
 		CacheMisses:    s.cacheMisses.Load(),
 		TreeNodesTotal: s.treeNodes.Load(),
+		FrontierSplits: s.frontierSplits.Load(),
 		CommBytes:      s.commBytes.Load(),
 		CommMessages:   s.commMessages.Load(),
 		CommByKind:     make(map[string]int64),
