@@ -54,9 +54,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"rads/internal/buildinfo"
 	"rads/internal/cluster"
 	"rads/internal/dataset"
 	"rads/internal/engine"
@@ -100,6 +102,7 @@ type options struct {
 
 	slowQuery time.Duration
 	debugAddr string
+	eventsCap int
 
 	jobsConcurrent int
 	jobsQueued     int
@@ -131,6 +134,7 @@ func main() {
 	flag.BoolVar(&o.fallback, "cluster-fallback", false, "serve RADS queries from the in-process engine while the cluster is unhealthy")
 	flag.DurationVar(&o.slowQuery, "slow-query", 0, "log queries slower than this and keep their profiles in the slow ring (0 disables)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "optional second listener serving /metrics, /healthz and /debug/pprof")
+	flag.IntVar(&o.eventsCap, "events", 1024, "operational event journal capacity (/debug/events)")
 	flag.IntVar(&o.jobsConcurrent, "jobs-concurrent", 1, "batch jobs (motif census) running at once")
 	flag.IntVar(&o.jobsQueued, "jobs-queued", 16, "batch jobs waiting before 503")
 	flag.Parse()
@@ -233,6 +237,10 @@ func run(o options) error {
 	}
 
 	start := time.Now()
+	// The operational event journal: breaker flips, RPC timeouts and
+	// retries, fallback transitions, slow queries, job lifecycle — the
+	// timeline behind /debug/events.
+	events := obs.NewEventLog(o.eventsCap)
 	svc, err := service.OpenPartitioned(part, service.Config{
 		MaxConcurrent:    o.maxConcurrent,
 		MaxQueued:        o.maxQueued,
@@ -240,6 +248,7 @@ func run(o options) error {
 		CacheEntries:     o.cacheEntries,
 		DefaultEngine:    o.defEngine,
 		SlowQuery:        o.slowQuery,
+		Events:           events,
 		OnSlowQuery: func(p *obs.Profile) {
 			log.Printf("slow query id=%d pattern=%s engine=%s wall=%.3fs queued=%.3fs (GET /debug/trace?id=%d)",
 				p.ID, p.Query, p.Engine, p.WallSeconds, p.QueuedSeconds, p.ID)
@@ -249,6 +258,9 @@ func run(o options) error {
 		return err
 	}
 	defer svc.Close()
+	events.RegisterMetrics(svc.Metrics())
+	buildinfo.Register(svc.Metrics())
+	log.Printf("build %s", buildinfo.String())
 
 	// Warm-start the prepared-artifact cache from the snapshot.
 	if o.snapDir != "" {
@@ -267,6 +279,7 @@ func run(o options) error {
 
 	// Cluster mode: front remote radsworker daemons for RADS queries.
 	var clusterHealth rads.HealthReporter
+	var clusterEng *rads.ClusterEngine
 	if o.specPath != "" {
 		spec, err := cluster.LoadSpec(o.specPath)
 		if err != nil {
@@ -283,12 +296,18 @@ func run(o options) error {
 		client.SetKindTimeout("runQuery", o.queryTimeout)
 		timeouts := svc.Metrics().CounterVec("rads_cluster_rpc_timeouts_total",
 			"Cluster RPCs that hit their per-call deadline.", "kind")
-		client.SetTimeoutObserver(func(kind string) { timeouts.With(kind).Inc() })
+		client.SetTimeoutObserver(func(kind string) {
+			timeouts.With(kind).Inc()
+			events.Recordf("rpc_timeout", -1, "cluster RPC %s hit its deadline", kind)
+		})
 		retries := svc.Metrics().CounterVec("rads_cluster_rpc_retries_total",
 			"Retry attempts on idempotent cluster RPCs.", "kind")
 		tr := cluster.NewRetryTransport(client, cluster.RetryPolicy{
 			MaxAttempts: o.rpcRetries,
-			OnRetry:     func(kind string) { retries.With(kind).Inc() },
+			OnRetry: func(kind string) {
+				retries.With(kind).Inc()
+				events.Recordf("rpc_retry", -1, "retrying cluster RPC %s", kind)
+			},
 		})
 		defer tr.Close()
 		ce := rads.NewClusterEngine(tr, part.M)
@@ -296,6 +315,11 @@ func run(o options) error {
 		if err := ce.WaitReady(part, o.waitFor); err != nil {
 			return err
 		}
+		// Fleet-health flips (all-up <-> degraded) are derived inside the
+		// per-worker transition hook; with -cluster-fallback they are
+		// exactly the moments queries re-route between legs.
+		var healthyAll atomic.Bool
+		healthyAll.Store(true)
 		ce.StartHealth(rads.HealthOptions{
 			Interval:         o.heartbeat,
 			FailureThreshold: o.breakThresh,
@@ -304,12 +328,22 @@ func run(o options) error {
 			OnTransition: func(machine int, up bool) {
 				if up {
 					log.Printf("cluster: worker %d recovered", machine)
+					events.Recordf("breaker_close", machine, "worker %d recovered (breaker closed)", machine)
 				} else {
 					log.Printf("cluster: worker %d down (breaker open)", machine)
+					events.Recordf("breaker_open", machine, "worker %d down (breaker open)", machine)
+				}
+				if h := ce.Healthy(); healthyAll.Swap(h) != h && o.fallback {
+					if h {
+						events.Record("fallback_off", -1, "cluster healthy again; RADS queries dispatch remotely")
+					} else {
+						events.Record("fallback_on", -1, "cluster degraded; RADS queries served by the in-process engine")
+					}
 				}
 			},
 		})
 		defer ce.Close()
+		clusterEng = ce
 		if o.fallback {
 			local, ok := engine.Lookup("RADS")
 			if !ok {
@@ -342,10 +376,11 @@ func run(o options) error {
 	js := newJobsServer(svc, source, jobs.Config{
 		MaxConcurrent: o.jobsConcurrent,
 		MaxQueued:     o.jobsQueued,
+		Events:        events,
 	})
 	defer js.Close()
 
-	srv := &http.Server{Addr: o.addr, Handler: newMux(svc, js, clusterHealth)}
+	srv := &http.Server{Addr: o.addr, Handler: newMux(svc, js, clusterHealth, clusterEng, events)}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", o.addr)
@@ -354,7 +389,9 @@ func run(o options) error {
 	// The debug listener carries pprof (opt-in: profiling endpoints
 	// should not ride on the public query port).
 	if o.debugAddr != "" {
-		dbg := &http.Server{Addr: o.debugAddr, Handler: obs.DebugMux(svc.Metrics(), nil)}
+		dbgMux := obs.DebugMux(svc.Metrics(), nil)
+		dbgMux.Handle("/debug/events", events.Handler())
+		dbg := &http.Server{Addr: o.debugAddr, Handler: dbgMux}
 		go func() {
 			log.Printf("debug listener on %s (/metrics /healthz /debug/pprof)", o.debugAddr)
 			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -393,9 +430,12 @@ func run(o options) error {
 
 // newMux wires the HTTP surface over a service and a job plane; split
 // out so tests can drive it through httptest. health is the cluster
-// health reporter in cluster mode, nil otherwise.
-func newMux(svc *service.Service, js *jobsServer, health rads.HealthReporter) *http.ServeMux {
-	s := &server{svc: svc, health: health}
+// health reporter in cluster mode, nil otherwise; ce is the cluster
+// coordinator engine behind the fleet endpoints (/metrics/cluster,
+// /debug/cluster), nil outside cluster mode; events is the journal
+// behind /debug/events, nil to leave the route unregistered.
+func newMux(svc *service.Service, js *jobsServer, health rads.HealthReporter, ce *rads.ClusterEngine, events *obs.EventLog) *http.ServeMux {
+	s := &server{svc: svc, health: health, cluster: ce}
 	mux := http.NewServeMux()
 	if js != nil {
 		js.register(mux)
@@ -405,14 +445,20 @@ func newMux(svc *service.Service, js *jobsServer, health rads.HealthReporter) *h
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/patterns", s.handlePatterns)
 	mux.Handle("/metrics", svc.Metrics().Handler())
+	mux.HandleFunc("/metrics/cluster", s.handleMetricsCluster)
+	mux.HandleFunc("/debug/cluster", s.handleClusterSummary)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if events != nil {
+		mux.Handle("/debug/events", events.Handler())
+	}
 	return mux
 }
 
 type server struct {
-	svc    *service.Service
-	health rads.HealthReporter
+	svc     *service.Service
+	health  rads.HealthReporter
+	cluster *rads.ClusterEngine
 }
 
 // handleHealthz reports ingress liveness, plus the per-machine cluster
@@ -421,16 +467,58 @@ type server struct {
 // it is still serving (fallback) or failing fast (typed 503s) — the
 // "status" field carries the distinction.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.health == nil {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	out := map[string]any{
+		"status":  "ok",
+		"build":   buildinfo.String(),
+		"version": buildinfo.Version,
+		"commit":  buildinfo.Commit,
+	}
+	if s.health != nil {
+		report := s.health.HealthReport()
+		if !report.Healthy {
+			out["status"] = "degraded"
+		}
+		out["cluster"] = report
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetricsCluster serves the fleet-merged Prometheus view: the
+// coordinator's own families exactly as /metrics shows them, plus
+// every reachable worker's families re-labeled with machine="N".
+func (s *server) handleMetricsCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
-	report := s.health.HealthReport()
-	status := "ok"
-	if !report.Healthy {
-		status = "degraded"
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, errors.New("not in cluster mode; per-process metrics are at /metrics"))
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": status, "cluster": report})
+	resps, errs := s.cluster.PullStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteFleet(w, s.svc.Metrics(), rads.FleetFamilies(resps))
+	for t, err := range errs {
+		if err != nil {
+			fmt.Fprintf(w, "# machine %d statsPull failed: %v\n", t, err)
+		}
+	}
+}
+
+// handleClusterSummary serves the /debug/cluster fleet table: per
+// machine up/breaker/heartbeat-age from the health tracker joined with
+// cache effectiveness and the snapshot fingerprint from a fresh
+// statsPull.
+func (s *server) handleClusterSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, errors.New("not in cluster mode"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Summary())
 }
 
 type queryRequest struct {

@@ -4,21 +4,32 @@
 // border fraction, and the fraction of vertices eligible for
 // single-machine enumeration at each query-vertex span.
 //
+// With -addr it is instead the fleet CLI of a running cluster-mode
+// deployment: it fetches the coordinator's /debug/cluster summary and
+// prints one row per worker machine (up, breaker, heartbeat age, cache
+// hit ratio, snapshot fingerprint) — the curl+jq loop as one command.
+//
 // Usage:
 //
 //	radsstat -dataset RoadNet -machines 10
 //	radsstat -graph edges.txt -machines 4 -partitioner hash
+//	radsstat -addr http://localhost:8080
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"rads/internal/gen"
 	"rads/internal/graph"
 	"rads/internal/harness"
 	"rads/internal/partition"
+	"rads/internal/rads"
 )
 
 func main() {
@@ -29,12 +40,78 @@ func main() {
 		scale       = flag.Float64("scale", 1.0, "dataset scale factor")
 		partitioner = flag.String("partitioner", "kway", "partitioner (kway hash)")
 		maxSpan     = flag.Int("max-span", 4, "largest span to report SM-E eligibility for")
+		addr        = flag.String("addr", "", "coordinator base URL: print the cluster fleet table from /debug/cluster instead of profiling a dataset")
 	)
 	flag.Parse()
+	if *addr != "" {
+		if err := runFleet(*addr); err != nil {
+			fmt.Fprintln(os.Stderr, "radsstat:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*dataset, *graphFile, *machines, *scale, *partitioner, *maxSpan); err != nil {
 		fmt.Fprintln(os.Stderr, "radsstat:", err)
 		os.Exit(1)
 	}
+}
+
+// runFleet fetches /debug/cluster from a cluster-mode coordinator and
+// renders the fleet table.
+func runFleet(addr string) error {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/debug/cluster")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error != "" {
+			return fmt.Errorf("%s/debug/cluster: %s", base, e.Error)
+		}
+		return fmt.Errorf("%s/debug/cluster: HTTP %d", base, resp.StatusCode)
+	}
+	var sum rads.ClusterSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		return fmt.Errorf("decoding /debug/cluster: %w", err)
+	}
+
+	health := "healthy"
+	if !sum.Healthy {
+		health = "DEGRADED"
+	}
+	fmt.Printf("cluster: %d machines, %s\n", sum.Machines, health)
+	fmt.Printf("%-8s %-5s %-10s %-14s %-11s %s\n",
+		"machine", "up", "breaker", "heartbeat_age", "cache_ratio", "fingerprint")
+	for _, w := range sum.Workers {
+		up := "yes"
+		if !w.Up {
+			up = "NO"
+		}
+		age := "never"
+		if w.HeartbeatAgeSeconds >= 0 {
+			age = fmt.Sprintf("%.1fs", w.HeartbeatAgeSeconds)
+		}
+		ratio := "-"
+		if w.CacheHitRatio >= 0 {
+			ratio = fmt.Sprintf("%.1f%%", 100*w.CacheHitRatio)
+		}
+		fp := w.Fingerprint
+		if fp == "" && w.StatsError != "" {
+			fp = "(" + w.StatsError + ")"
+		}
+		fmt.Printf("%-8d %-5s %-10s %-14s %-11s %s\n",
+			w.Machine, up, w.Breaker, age, ratio, fp)
+	}
+	return nil
 }
 
 func run(dataset, graphFile string, machines int, scale float64, partitioner string, maxSpan int) error {

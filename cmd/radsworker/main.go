@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"rads/internal/buildinfo"
 	"rads/internal/cluster"
 	"rads/internal/graph"
 	"rads/internal/obs"
@@ -103,8 +104,13 @@ func run(specPath, snapDir, machineList, listen string, workers int, dsDir, debu
 		return fmt.Errorf("snapshot has %d machines, spec %d", man.Machines, spec.M())
 	}
 	// One registry for the whole process: machines hosted together
-	// share families, exposed on -debug-addr.
+	// share families, exposed on -debug-addr and pulled by the
+	// coordinator over statsPull. The event journal rides beside it.
 	reg := obs.NewRegistry()
+	events := obs.NewEventLog(1024)
+	events.RegisterMetrics(reg)
+	buildinfo.Register(reg)
+	log.Printf("build %s", buildinfo.String())
 	graph.SetKernelCounting(true)
 	reg.CounterVecFunc("rads_kernel_selections_total",
 		"Adaptive intersection kernel selections.", "kernel", graph.KernelCounts)
@@ -141,6 +147,7 @@ func run(specPath, snapDir, machineList, listen string, workers int, dsDir, debu
 			Workers:   workers,
 			Metrics:   metrics,
 			Obs:       reg,
+			Events:    events,
 		})
 		srv.Register(id, d.Handle)
 		log.Printf("machine %d: shard loaded (%d owned vertices of %d, %d border-distance entries warm)",
@@ -156,7 +163,9 @@ func run(specPath, snapDir, machineList, listen string, workers int, dsDir, debu
 	if debugAddr != "" {
 		fingerprint := rads.PartitionFingerprint(parts[0])
 		health := healthzHandler(ids, fingerprint)
-		dbg := &http.Server{Addr: debugAddr, Handler: obs.DebugMux(reg, health)}
+		dbgMux := obs.DebugMux(reg, health)
+		dbgMux.Handle("/debug/events", events.Handler())
+		dbg := &http.Server{Addr: debugAddr, Handler: dbgMux}
 		go func() {
 			log.Printf("debug listener on %s (/metrics /healthz /debug/pprof)", debugAddr)
 			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -199,6 +208,9 @@ func healthzHandler(ids []int, fingerprint uint64) http.Handler {
 			"ready":                true,
 			"machines":             ids,
 			"snapshot_fingerprint": fmt.Sprintf("%016x", fingerprint),
+			"build":                buildinfo.String(),
+			"version":              buildinfo.Version,
+			"commit":               buildinfo.Commit,
 		})
 	})
 }

@@ -1,0 +1,35 @@
+// Package buildinfo carries the binary's provenance, injected at link
+// time:
+//
+//	go build -ldflags "-X rads/internal/buildinfo.Version=v1.2 \
+//	                   -X rads/internal/buildinfo.Commit=abc1234"
+//
+// Both radserve and radsworker surface it in /healthz and as the
+// rads_build_info gauge, so a fleet operator can tell at a glance
+// whether every process runs the same build.
+package buildinfo
+
+import "rads/internal/obs"
+
+// Version is the human-facing release identifier ("dev" when built
+// without ldflags).
+var Version = "dev"
+
+// Commit is the VCS revision the binary was built from ("none" when
+// built without ldflags).
+var Commit = "none"
+
+// String returns the canonical one-token form, "Version@Commit".
+func String() string { return Version + "@" + Commit }
+
+// Register exposes the build as rads_build_info{build="Version@Commit"} 1
+// — the standard always-1 info-gauge idiom, so joins against it tag
+// other series with the build.
+func Register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeVecFunc("rads_build_info",
+		"Build provenance of this binary (value is always 1).", "build",
+		func() map[string]float64 { return map[string]float64{String(): 1} })
+}

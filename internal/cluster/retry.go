@@ -16,6 +16,8 @@ import (
 //     duplicate answers identically.
 //   - ping reports static identity (machine id, vertex count,
 //     partition hash) — duplicates are harmless.
+//   - statsPull snapshots the worker's metric registry — a pure read;
+//     a duplicate just reads a fresher snapshot.
 //
 // Everything else must fail on the first error:
 //
@@ -28,7 +30,7 @@ import (
 //     results.
 func DefaultRetryable(kind string) bool {
 	switch kind {
-	case "fetchV", "verifyE", "ping":
+	case "fetchV", "verifyE", "ping", "statsPull":
 		return true
 	}
 	return false

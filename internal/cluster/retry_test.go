@@ -102,13 +102,14 @@ func (errFakeRemote) Unwrap() error { return ErrRemote }
 
 func TestRetryDefaultClassification(t *testing.T) {
 	cases := map[string]bool{
-		"fetchV":   true,
-		"verifyE":  true,
-		"ping":     true,
-		"runQuery": false,
-		"checkR":   false,
-		"shareR":   false,
-		"shuffle":  false,
+		"fetchV":    true,
+		"verifyE":   true,
+		"ping":      true,
+		"statsPull": true,
+		"runQuery":  false,
+		"checkR":    false,
+		"shareR":    false,
+		"shuffle":   false,
 	}
 	for kind, want := range cases {
 		if got := DefaultRetryable(kind); got != want {

@@ -137,6 +137,11 @@ type Request struct {
 	// recorded into safely (obs.Trace is nil-tolerant), so engines may
 	// thread it unconditionally.
 	Trace *obs.Trace
+	// QueryID is the service-minted query identifier. Engines that fan
+	// out over a cluster thread it onto the wire so remote machines can
+	// attribute their work (traces, journal events) to the query; 0
+	// means unattributed (direct library use).
+	QueryID uint64
 }
 
 // Result is an engine's normalized answer.

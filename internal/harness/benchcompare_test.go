@@ -54,3 +54,24 @@ func TestCompareReportsFlagsRegressions(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareReportsIgnoresProvenance: the gate diffs per-row ns/op
+// only — reports stamped with different toolchain/host provenance
+// still compare cleanly against older baselines.
+func TestCompareReportsIgnoresProvenance(t *testing.T) {
+	base := &BenchReport{
+		GoVersion: "go1.21.0", GOOS: "darwin", GOARCH: "amd64", Host: "old-box",
+		Micro: []MicroResult{{Name: "merge", NsOp: 100}},
+	}
+	cur := &BenchReport{
+		GoVersion: "go1.22.5", GOOS: "linux", GOARCH: "arm64", Host: "new-box",
+		Micro: []MicroResult{{Name: "merge", NsOp: 110}},
+	}
+	deltas := CompareReports(base, cur, 0.30)
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1: %+v", len(deltas), deltas)
+	}
+	if deltas[0].Regress {
+		t.Errorf("provenance mismatch flagged as regression: %+v", deltas[0])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -47,12 +48,21 @@ type EngineBenchResult struct {
 // path is kept alive as a benchmark baseline); the engines section
 // tracks end-to-end throughput per engine.
 type BenchReport struct {
-	Note       string              `json:"note"`
-	GoMaxProcs int                 `json:"gomaxprocs"`
-	Machines   int                 `json:"machines"`
-	Scale      float64             `json:"scale"`
-	Micro      []MicroResult       `json:"micro"`
-	Engines    []EngineBenchResult `json:"engines"`
+	Note       string `json:"note"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Provenance: which toolchain and host produced these rows, so a
+	// BENCH_*.json number is attributable long after the machine that
+	// ran it is gone. Additive fields — older reports decode with them
+	// empty, and CompareReports diffs only per-row ns/op, so baselines
+	// written before these existed still gate cleanly.
+	GoVersion string              `json:"go_version,omitempty"`
+	GOOS      string              `json:"goos,omitempty"`
+	GOARCH    string              `json:"goarch,omitempty"`
+	Host      string              `json:"host,omitempty"`
+	Machines  int                 `json:"machines"`
+	Scale     float64             `json:"scale"`
+	Micro     []MicroResult       `json:"micro"`
+	Engines   []EngineBenchResult `json:"engines"`
 }
 
 // benchQueries is the query subset the JSON bench runs: one cycle and
@@ -77,9 +87,15 @@ func BenchJSON(machines int, scale float64) (*BenchReport, error) {
 		Note: "radsbench -json: kernel micro-benchmarks (candidates_seed_path is the pre-kernel " +
 			"baseline kept alive for before/after comparison) and per-engine end-to-end runs",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
 		Machines:   machines,
 		Scale:      scale,
 		Micro:      RunMicroBenchmarks(),
+	}
+	if host, err := os.Hostname(); err == nil {
+		rep.Host = host
 	}
 	d, err := DatasetByName("DBLP")
 	if err != nil {

@@ -98,6 +98,9 @@ type Config struct {
 	// Retain caps terminal jobs kept for status/result polling; the
 	// oldest are evicted first (default 64).
 	Retain int
+	// Events, when set, receives job lifecycle entries (submitted,
+	// completed, cancelled, failed); nil records nothing.
+	Events *obs.EventLog
 }
 
 func (c Config) withDefaults() Config {
@@ -377,6 +380,7 @@ func (m *Manager) Submit(kind, desc string, run Runner) (*Job, error) {
 	m.wg.Add(1)
 	m.mu.Unlock()
 
+	m.cfg.Events.Recordf("job_submitted", -1, "job %d (%s): %s", j.id, kind, desc)
 	go m.serve(ctx, j, run, admitted)
 	return j, nil
 }
@@ -461,10 +465,13 @@ func (m *Manager) finish(j *Job, res any, err error) {
 	switch state {
 	case StateCompleted:
 		m.completed.Add(1)
+		m.cfg.Events.Recordf("job_completed", -1, "job %d (%s) in %s", j.id, j.kind, wall)
 	case StateCancelled:
 		m.cancelled.Add(1)
+		m.cfg.Events.Recordf("job_cancelled", -1, "job %d (%s) after %s", j.id, j.kind, wall)
 	default:
 		m.failed.Add(1)
+		m.cfg.Events.Recordf("job_failed", -1, "job %d (%s): %v", j.id, j.kind, err)
 	}
 	j.cancel() // release the context regardless of how we got here
 	close(j.done)

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Event is one timestamped operational occurrence in the serving
+// plane: a breaker flip, an RPC timeout, a worker restart, a fallback
+// transition, a slow query, a job state change. Events are the
+// timeline companion to the registry's counters — counters say how
+// often, the journal says when and in what order.
+type Event struct {
+	// Seq is the journal-assigned monotone sequence number; it survives
+	// ring eviction, so gaps tell a reader how much history was lost.
+	Seq uint64 `json:"seq"`
+	// Time is the wall-clock moment the event was recorded.
+	Time time.Time `json:"time"`
+	// Type is the event's kind ("breaker_open", "rpc_timeout",
+	// "slow_query", ...); the journal keeps a per-type counter.
+	Type string `json:"type"`
+	// Machine is the machine id the event concerns (-1 = coordinator
+	// or not machine-specific).
+	Machine int `json:"machine"`
+	// Detail is a free-form human-readable elaboration.
+	Detail string `json:"detail,omitempty"`
+}
+
+// EventLog is a bounded, typed, timestamped ring of operational
+// events. A nil *EventLog is valid everywhere and records nothing, so
+// subsystems can thread one unconditionally. All methods are safe for
+// concurrent use.
+type EventLog struct {
+	mu     sync.Mutex
+	buf    []Event
+	next   int
+	full   bool
+	seq    uint64
+	counts map[string]int64
+
+	subs  map[int]chan Event
+	subID int
+}
+
+// NewEventLog returns a journal retaining the n most recent events
+// (n < 1 is clamped to 1).
+func NewEventLog(n int) *EventLog {
+	if n < 1 {
+		n = 1
+	}
+	return &EventLog{
+		buf:    make([]Event, n),
+		counts: make(map[string]int64),
+		subs:   make(map[int]chan Event),
+	}
+}
+
+// Record appends one event. machine -1 means the coordinator (or not
+// machine-specific). Followers with full buffers miss the event rather
+// than block the recorder — the journal must never back-pressure a
+// breaker transition.
+func (l *EventLog) Record(typ string, machine int, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	ev := Event{Seq: l.seq, Time: time.Now(), Type: typ, Machine: machine, Detail: detail}
+	l.buf[l.next] = ev
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	l.counts[typ]++
+	for _, ch := range l.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Recordf is Record with a formatted detail.
+func (l *EventLog) Recordf(typ string, machine int, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Record(typ, machine, fmt.Sprintf(format, args...))
+}
+
+// Recent returns up to n retained events, oldest first (chronological
+// replay order); n <= 0 means all. typ filters to one event type ("" =
+// all types).
+func (l *EventLog) Recent(n int, typ string) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := l.next
+	if l.full {
+		size = len(l.buf)
+	}
+	out := make([]Event, 0, size)
+	for i := 0; i < size; i++ {
+		ev := l.buf[(l.next-size+i+len(l.buf))%len(l.buf)]
+		if typ != "" && ev.Type != typ {
+			continue
+		}
+		out = append(out, ev)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Counts returns the cumulative per-type event counts (they outlive
+// ring eviction).
+func (l *EventLog) Counts() map[string]int64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Subscribe returns a channel receiving every event recorded after the
+// call, plus a cancel function that must be called to release the
+// subscription. A subscriber that falls more than buf events behind
+// misses the overflow (Seq gaps reveal it).
+func (l *EventLog) Subscribe(buf int) (<-chan Event, func()) {
+	if buf < 1 {
+		buf = 64
+	}
+	ch := make(chan Event, buf)
+	l.mu.Lock()
+	l.subID++
+	id := l.subID
+	l.subs[id] = ch
+	l.mu.Unlock()
+	return ch, func() {
+		l.mu.Lock()
+		delete(l.subs, id)
+		l.mu.Unlock()
+	}
+}
+
+// RegisterMetrics exposes the journal's per-type counters as the
+// rads_events_total{type=...} family.
+func (l *EventLog) RegisterMetrics(reg *Registry) {
+	if l == nil || reg == nil {
+		return
+	}
+	reg.CounterVecFunc("rads_events_total",
+		"Operational events recorded in the journal, by type.", "type",
+		l.Counts)
+}
+
+// Handler serves the journal over HTTP (GET /debug/events):
+//
+//	?type=T    only events of type T
+//	?n=N       at most the N most recent events (default all retained)
+//	?follow=1  NDJSON: replay the retained events, then stream new ones
+//	           until the client disconnects
+//
+// Without follow the response is one JSON object {events, counts}.
+func (l *EventLog) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, `{"error":"use GET"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		typ := r.URL.Query().Get("type")
+		n := 0
+		if v := r.URL.Query().Get("n"); v != "" {
+			k, err := strconv.Atoi(v)
+			if err != nil || k < 1 {
+				http.Error(w, `{"error":"bad n"}`, http.StatusBadRequest)
+				return
+			}
+			n = k
+		}
+		follow := r.URL.Query().Get("follow") == "1" || r.URL.Query().Get("follow") == "true"
+		if !follow {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"events": l.Recent(n, typ),
+				"counts": l.Counts(),
+			})
+			return
+		}
+
+		// Follow mode: subscribe before replaying so no event falls in
+		// the gap, then suppress replayed duplicates by sequence number.
+		ch, cancel := l.Subscribe(256)
+		defer cancel()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		var lastSeq uint64
+		for _, ev := range l.Recent(n, typ) {
+			if enc.Encode(ev) != nil {
+				return
+			}
+			lastSeq = ev.Seq
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case ev := <-ch:
+				if ev.Seq <= lastSeq {
+					continue
+				}
+				if typ != "" && ev.Type != typ {
+					continue
+				}
+				if enc.Encode(ev) != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryExport freezes every collector kind and checks the
+// snapshot carries real values (funcs evaluated, not closures) in
+// deterministic order.
+func TestRegistryExport(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z_requests_total", "Requests.").Add(3)
+	reg.Gauge("a_temperature", "Temp.").Set(1.5)
+	v := reg.CounterVec("m_bytes_total", "Bytes by kind.", "kind")
+	v.With("fetchV").Add(20)
+	v.With("verifyE").Add(10)
+	h := reg.Histogram("h_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	reg.CounterFunc("f_polled_total", "Polled.", func() int64 { return 7 })
+
+	fams := reg.Export()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	want := "a_temperature,f_polled_total,h_latency_seconds,m_bytes_total,z_requests_total"
+	if got := strings.Join(names, ","); got != want {
+		t.Fatalf("family order %s, want %s", got, want)
+	}
+
+	if n, ok := SnapshotCounter(fams, "z_requests_total", ""); !ok || n != 3 {
+		t.Errorf("counter: %d %v", n, ok)
+	}
+	if n, ok := SnapshotCounter(fams, "f_polled_total", ""); !ok || n != 7 {
+		t.Errorf("counterfunc evaluated at export: %d %v", n, ok)
+	}
+	if n, ok := SnapshotCounter(fams, "m_bytes_total", "fetchV"); !ok || n != 20 {
+		t.Errorf("countervec series: %d %v", n, ok)
+	}
+	if _, ok := SnapshotCounter(fams, "m_bytes_total", "nope"); ok {
+		t.Error("missing label found")
+	}
+	if _, ok := SnapshotCounter(fams, "gone_total", ""); ok {
+		t.Error("missing family found")
+	}
+
+	var hist *FamilySnapshot
+	for i := range fams {
+		if fams[i].Name == "h_latency_seconds" {
+			hist = &fams[i]
+		}
+	}
+	if hist.Type != "histogram" || len(hist.Series) != 1 {
+		t.Fatalf("histogram family: %+v", hist)
+	}
+	s := hist.Series[0]
+	// Per-slot (non-cumulative) counts, one extra slot for +Inf.
+	if len(s.Bounds) != 2 || len(s.Counts) != 3 ||
+		s.Counts[0] != 1 || s.Counts[1] != 0 || s.Counts[2] != 1 ||
+		s.Count != 2 || s.Sum != 5.05 {
+		t.Errorf("histogram snapshot: %+v", s)
+	}
+}
+
+// TestWriteFleetNoClobber is the statsPull-merge contract: worker
+// families sharing a name with coordinator-local ones coexist under
+// one HELP/TYPE block — the machine label distinguishes them, nothing
+// is overwritten or duplicated.
+func TestWriteFleetNoClobber(t *testing.T) {
+	local := NewRegistry()
+	local.Counter("rads_cache_hits_total", "Cache hits.").Add(5)
+	local.Gauge("rads_coordinator_only", "Local-only family.").Set(1)
+
+	workerFams := func(hits int64, kindBytes map[string]int64) []FamilySnapshot {
+		fams := []FamilySnapshot{
+			{Name: "rads_cache_hits_total", Help: "Cache hits.", Type: "counter",
+				Series: []SeriesSnapshot{{Int: hits}}},
+			{Name: "rads_worker_only_total", Help: "Worker-only family.", Type: "counter",
+				Series: []SeriesSnapshot{{Int: 1}}},
+		}
+		var series []SeriesSnapshot
+		for _, k := range []string{"fetchV", "verifyE"} {
+			if v, ok := kindBytes[k]; ok {
+				series = append(series, SeriesSnapshot{Label: k, Int: v})
+			}
+		}
+		fams = append(fams, FamilySnapshot{
+			Name: "rads_bytes_total", Help: "Bytes by kind.", Type: "counter",
+			Label: "kind", Series: series,
+		})
+		return fams
+	}
+	fleet := []MachineFamilies{
+		{Machine: 2, Families: workerFams(9, map[string]int64{"fetchV": 4})},
+		{Machine: 0, Families: workerFams(7, map[string]int64{"fetchV": 1, "verifyE": 2})},
+	}
+
+	var b strings.Builder
+	if err := WriteFleet(&b, local, fleet); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	// One HELP block per family name, even when local and workers share it.
+	if n := strings.Count(got, "# HELP rads_cache_hits_total"); n != 1 {
+		t.Errorf("HELP for shared family appears %d times:\n%s", n, got)
+	}
+	for _, line := range []string{
+		"rads_cache_hits_total 5", // coordinator's own series, unlabeled
+		`rads_cache_hits_total{machine="0"} 7`,
+		`rads_cache_hits_total{machine="2"} 9`,
+		"rads_coordinator_only 1",
+		`rads_worker_only_total{machine="0"} 1`,
+		`rads_bytes_total{machine="0",kind="fetchV"} 1`,
+		`rads_bytes_total{machine="0",kind="verifyE"} 2`,
+		`rads_bytes_total{machine="2",kind="fetchV"} 4`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("fleet exposition missing %q:\n%s", line, got)
+		}
+	}
+	// Machines render in ascending id order regardless of pull order.
+	if strings.Index(got, `machine="0"} 7`) > strings.Index(got, `machine="2"} 9`) {
+		t.Errorf("machines out of order:\n%s", got)
+	}
+}
+
+// TestWriteFleetHistogram: a worker histogram renders cumulative
+// buckets with the machine label threaded through bucket, sum, and
+// count lines.
+func TestWriteFleetHistogram(t *testing.T) {
+	fleet := []MachineFamilies{{Machine: 1, Families: []FamilySnapshot{{
+		Name: "rads_handle_seconds", Help: "Handling latency.", Type: "histogram",
+		Series: []SeriesSnapshot{{
+			Bounds: []float64{0.1, 1},
+			Counts: []int64{2, 1, 1}, // per-slot; renders cumulatively
+			Sum:    3.25, Count: 4,
+		}},
+	}}}}
+	var b strings.Builder
+	if err := WriteFleet(&b, nil, fleet); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, line := range []string{
+		`rads_handle_seconds_bucket{machine="1",le="0.1"} 2`,
+		`rads_handle_seconds_bucket{machine="1",le="1"} 3`,
+		`rads_handle_seconds_bucket{machine="1",le="+Inf"} 4`,
+		`rads_handle_seconds_sum{machine="1"} 3.25`,
+		`rads_handle_seconds_count{machine="1"} 4`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("histogram exposition missing %q:\n%s", line, got)
+		}
+	}
+}

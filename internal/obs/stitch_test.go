@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAddRemoteSpansStitching is the golden ordering test for the
+// cross-machine timeline: two workers' span lists, each measured
+// against its own clock zero, stitch into the coordinator trace
+// re-anchored at the dispatch offset and re-attributed to the machine
+// that shipped them — then SortSpans yields the canonical display
+// order.
+func TestAddRemoteSpansStitching(t *testing.T) {
+	tr := NewTrace()
+	const base = int64(1000) // coordinator offset when the workers began
+
+	// Worker 1 measured these against its own clock zero; the bogus
+	// Machine ids prove re-attribution (a worker cannot be trusted to
+	// know its coordinator-facing id).
+	tr.AddRemoteSpans(1, base, []Span{
+		{Name: "execute/machine", Machine: 99, Worker: -1, StartNs: 10, DurNs: 100},
+		{Name: "execute/group", Machine: 99, Worker: 0, StartNs: 20, DurNs: 50},
+	})
+	tr.AddRemoteSpans(0, base, []Span{
+		{Name: "execute/machine", Machine: -7, Worker: -1, StartNs: 15, DurNs: 80},
+		{Name: "execute/sme", Machine: -7, Worker: -1, StartNs: 10, DurNs: 5},
+	})
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("stitched %d spans, want 4", len(spans))
+	}
+	SortSpans(spans)
+
+	want := []Span{
+		// Equal StartNs tie-breaks by machine, then name.
+		{Name: "execute/sme", Machine: 0, Worker: -1, StartNs: 1010, DurNs: 5},
+		{Name: "execute/machine", Machine: 1, Worker: -1, StartNs: 1010, DurNs: 100},
+		{Name: "execute/machine", Machine: 0, Worker: -1, StartNs: 1015, DurNs: 80},
+		{Name: "execute/group", Machine: 1, Worker: 0, StartNs: 1020, DurNs: 50},
+	}
+	for i, s := range spans {
+		if s != want[i] {
+			t.Errorf("span %d: %+v, want %+v", i, s, want[i])
+		}
+	}
+
+	// Remote spans feed phase aggregation exactly as local ones would.
+	p := tr.Snapshot(time.Microsecond)
+	if sec := p.Phase("execute/machine"); sec != 180e-9 {
+		t.Errorf("execute/machine aggregate: %v s, want 180ns", sec)
+	}
+	for _, ph := range p.Phases {
+		if ph.Name == "execute/machine" && ph.Count != 2 {
+			t.Errorf("execute/machine count: %d, want 2", ph.Count)
+		}
+	}
+	// Sub-phases never leak into the tiling fraction.
+	if f := p.AccountedFraction(); f != 0 {
+		t.Errorf("accounted fraction from sub-phases alone: %v, want 0", f)
+	}
+}
+
+// TestAddRemoteSpansRespectsCap: stitching past maxSpans drops spans
+// but keeps aggregating.
+func TestAddRemoteSpansRespectsCap(t *testing.T) {
+	tr := NewTrace()
+	batch := make([]Span, 500)
+	for i := range batch {
+		batch[i] = Span{Name: "execute/steal", StartNs: int64(i), DurNs: 1}
+	}
+	const batches = 10 // 5000 > maxSpans
+	for b := 0; b < batches; b++ {
+		tr.AddRemoteSpans(b, 0, batch)
+	}
+	p := tr.Snapshot(time.Second)
+	if len(p.Spans) != maxSpans {
+		t.Errorf("spans: %d, want cap %d", len(p.Spans), maxSpans)
+	}
+	if p.DroppedSpans != int64(batches*len(batch)-maxSpans) {
+		t.Errorf("dropped: %d", p.DroppedSpans)
+	}
+	for _, ph := range p.Phases {
+		if ph.Name == "execute/steal" && ph.Count != int64(batches*len(batch)) {
+			t.Errorf("aggregation lost dropped spans: count %d", ph.Count)
+		}
+	}
+}
+
+// TestNilTraceStitchHelpers: the stitching additions keep the
+// nil-trace contract.
+func TestNilTraceStitchHelpers(t *testing.T) {
+	var tr *Trace
+	tr.AddRemoteSpans(0, 0, []Span{{Name: "x"}})
+	if tr.Spans() != nil {
+		t.Error("nil Spans")
+	}
+	if tr.SinceStart() != 0 {
+		t.Error("nil SinceStart")
+	}
+}

@@ -108,6 +108,74 @@ func (t *Trace) record(name string, machine, worker int, offset, d time.Duration
 	})
 }
 
+// Spans returns a copy of the recorded spans in recording order — the
+// serialized form a remote machine ships back to its coordinator. Nil
+// for a nil or span-less trace.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return nil
+	}
+	return append([]Span(nil), t.spans...)
+}
+
+// SinceStart returns nanoseconds elapsed since the trace's clock zero
+// — the anchor offset for stitching a remote machine's spans into this
+// trace's timeline. 0 for a nil trace.
+func (t *Trace) SinceStart() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start).Nanoseconds()
+}
+
+// AddRemoteSpans stitches another trace's span list into this one:
+// each span keeps its shape but is re-anchored at baseNs (this trace's
+// offset at which the remote trace's clock zero began) and re-attributed
+// to machine. Because both traces measure offsets from their own local
+// clock zero, absolute clock skew between the two hosts cancels — only
+// the dispatch latency folded into baseNs remains. The spans also feed
+// this trace's phase aggregation, exactly as if recorded locally.
+func (t *Trace) AddRemoteSpans(machine int, baseNs int64, spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range spans {
+		t.phaseNs[s.Name] += s.DurNs
+		t.phaseCount[s.Name]++
+		if len(t.spans) >= maxSpans {
+			t.dropped++
+			continue
+		}
+		t.spans = append(t.spans, Span{
+			Name: s.Name, Machine: machine, Worker: s.Worker,
+			StartNs: baseNs + s.StartNs, DurNs: s.DurNs,
+		})
+	}
+}
+
+// SortSpans orders spans for timeline display: by start offset, then
+// machine, then name — the canonical order of a stitched cross-machine
+// trace. Snapshot deliberately preserves recording order; coordinators
+// sort after stitching.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNs != spans[j].StartNs {
+			return spans[i].StartNs < spans[j].StartNs
+		}
+		if spans[i].Machine != spans[j].Machine {
+			return spans[i].Machine < spans[j].Machine
+		}
+		return spans[i].Name < spans[j].Name
+	})
+}
+
 // PhaseNs returns the per-phase aggregate in nanoseconds — the compact
 // form a remote worker ships back to the coordinator. Nil for a nil or
 // empty trace.

@@ -28,9 +28,10 @@ import (
 // slice.
 //
 // Handle is safe for concurrent calls (the transport serves it from
-// many connections at once); queries themselves are serialized — the
-// daemon protocol has no query ids, so the coordinator runs one
-// cluster query at a time.
+// many connections at once); queries themselves are serialized. The
+// wire now carries the coordinator's QueryID for attribution (traces,
+// journal events), but per-query daemon state is still single-slot,
+// so the coordinator runs one cluster query at a time.
 type Machine struct {
 	id   int
 	part *partition.Partition
@@ -39,6 +40,8 @@ type Machine struct {
 	avgDeg  float64
 	workers int
 	metrics *cluster.Metrics
+	obsReg  *obs.Registry // statsPull snapshots; nil without a registry
+	events  *obs.EventLog // operational journal; nil-tolerant
 
 	// Pre-resolved observability families (nil without a registry).
 	// Machines hosted in one process share the registry, so these are
@@ -75,6 +78,10 @@ type MachineOptions struct {
 	// steal/group/tree-node counters and adjacency-cache hit rates.
 	// Machines hosted in one process share one registry.
 	Obs *obs.Registry
+	// Events, when set, receives the machine's operational journal
+	// entries (query start/done); machines hosted in one process share
+	// one journal.
+	Events *obs.EventLog
 }
 
 // NewMachine hosts machine id of part, calling other machines through
@@ -92,6 +99,8 @@ func NewMachine(id int, part *partition.Partition, tr cluster.Transport, opts Ma
 		avgDeg:  opts.AvgDegree,
 		workers: w,
 		metrics: opts.Metrics,
+		obsReg:  opts.Obs,
+		events:  opts.Events,
 	}
 	if reg := opts.Obs; reg != nil {
 		d.obsQueryLatency = reg.HistogramVec("rads_query_seconds",
@@ -147,6 +156,15 @@ func (d *Machine) Handle(from int, req cluster.Message) (cluster.Message, error)
 		return &cluster.ShareRResponse{OK: false}, nil
 	case *RunQueryRequest:
 		return d.runQuery(r)
+	case *StatsPullRequest:
+		resp := &StatsPullResponse{
+			Machine:     d.id,
+			Fingerprint: PartitionFingerprint(d.part),
+		}
+		if d.obsReg != nil {
+			resp.Families = d.obsReg.Export()
+		}
+		return resp, nil
 	default:
 		return nil, fmt.Errorf("machine %d: unknown request %T", d.id, req)
 	}
@@ -201,9 +219,15 @@ func (d *Machine) runQuery(r *RunQueryRequest) (cluster.Message, error) {
 		commBytes0, commMsgs0 = d.metrics.TotalBytes(), d.metrics.TotalMessages()
 	}
 
+	d.events.Recordf("query_start", d.id, "query %d pattern %s", r.QueryID, p.Name)
 	d.cur.Store(m)
 	runErr := m.run()
 	d.cur.Store(nil)
+	if runErr != nil {
+		d.events.Recordf("query_done", d.id, "query %d error: %v", r.QueryID, runErr)
+	} else {
+		d.events.Recordf("query_done", d.id, "query %d ok in %s", r.QueryID, m.elapsed)
+	}
 
 	resp := &RunQueryResponse{
 		SME:            m.smeCount,
@@ -222,6 +246,7 @@ func (d *Machine) runQuery(r *RunQueryRequest) (cluster.Message, error) {
 		DeferredEnds:   len(eng.deferred),
 		FrontierSplits: m.frontierSplits,
 		PhaseNs:        trace.PhaseNs(),
+		Spans:          trace.Spans(),
 		CacheHits:      m.view.hits.Load(),
 		CacheMisses:    m.view.misses.Load(),
 	}

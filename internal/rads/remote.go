@@ -24,10 +24,11 @@ import (
 // fetchV, checkR and shareR never pass through the coordinator; only
 // the control plane does.
 //
-// The daemon protocol carries no query ids, so the coordinator
+// Per-query daemon state is still single-slot, so the coordinator
 // serializes cluster queries: concurrent Run calls queue on an
 // internal mutex (the resident service's admission queue sits in
-// front of this anyway).
+// front of this anyway). The wire does carry the service's QueryID
+// now, so workers attribute traces and journal events per query.
 //
 // Capabilities are narrower than the in-process engine's: embeddings
 // are counted on the workers and never cross the wire, so streaming
@@ -133,6 +134,7 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 	wire := &RunQueryRequest{
 		Pattern:      pattern.Format(req.Pattern),
 		Plan:         pl,
+		QueryID:      req.QueryID,
 		Workers:      req.Workers,
 		BudgetBytes:  req.Budget.Limit(),
 		HugeFrontier: req.HugeFrontier,
@@ -151,6 +153,12 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 
 	start := time.Now()
 	execSp := trace.Start("execute", -1, -1)
+	// Anchor for stitching remote spans: each worker's trace clock
+	// starts when its runQuery begins, which is (to within dispatch
+	// latency) this moment on the coordinator's clock. Both sides
+	// measure offsets from their own local zero, so absolute clock skew
+	// between hosts cancels.
+	execBase := trace.SinceStart()
 	resps := make([]*RunQueryResponse, c.m)
 	errs := make([]error, c.m)
 	var wg sync.WaitGroup
@@ -220,14 +228,28 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 			res.PeakMemBytes = r.PeakMemBytes
 		}
 		req.Metrics.AccountRemote(t, r.CommBytes, r.CommMessages)
-		// Fold the worker's phase aggregate into the trace. Only the
+		// Stitch the worker's raw spans into the coordinator timeline,
+		// re-anchored at the execute dispatch offset and re-attributed
+		// to machine t; fall back to the compact PhaseNs aggregate for
+		// workers that shipped no spans (older builds). Either way only
 		// "/"-qualified sub-phases cross over: worker time runs inside
 		// the coordinator's "execute" span, and the workers' own
 		// top-level phases would break the tiling ("execute/machine"
-		// already carries each machine's whole run).
-		for name, ns := range r.PhaseNs {
-			if isSubPhase(name) {
-				trace.AddPhase(name, t, time.Duration(ns))
+		// already carries each machine's whole run). Never both — span
+		// stitching feeds the same phase aggregation AddPhase would.
+		if len(r.Spans) > 0 {
+			sub := r.Spans[:0:0]
+			for _, s := range r.Spans {
+				if isSubPhase(s.Name) {
+					sub = append(sub, s)
+				}
+			}
+			trace.AddRemoteSpans(t, execBase, sub)
+		} else {
+			for name, ns := range r.PhaseNs {
+				if isSubPhase(name) {
+					trace.AddPhase(name, t, time.Duration(ns))
+				}
 			}
 		}
 		steals += r.GroupsStolen
@@ -247,6 +269,9 @@ func (c *ClusterEngine) Run(ctx context.Context, req eng.Request) (eng.Result, e
 		res.TreeNodes = 0
 	}
 	prof := trace.Snapshot(time.Since(start))
+	// Stitched spans arrive per machine in fold order; re-sort into one
+	// cross-machine timeline.
+	obs.SortSpans(prof.Spans)
 	prof.Steals = steals
 	prof.Machines = machines
 	res.Profile = prof

@@ -3,6 +3,7 @@ package rads
 import (
 	"encoding/gob"
 
+	"rads/internal/obs"
 	"rads/internal/plan"
 )
 
@@ -11,6 +12,8 @@ func init() {
 	// coordinator ingress and remote machine daemons.
 	gob.Register(&RunQueryRequest{})
 	gob.Register(&RunQueryResponse{})
+	gob.Register(&StatsPullRequest{})
+	gob.Register(&StatsPullResponse{})
 }
 
 // RunQueryRequest is the coordinator -> machine control message: run
@@ -23,6 +26,12 @@ func init() {
 type RunQueryRequest struct {
 	Pattern string
 	Plan    *plan.Plan
+
+	// QueryID is the coordinator-side query identifier (minted by the
+	// service), crossing the wire so remote machines attribute their
+	// traces and journal events to the query. 0 = unattributed; as a
+	// new gob field it decodes as 0 against older coordinators.
+	QueryID uint64
 
 	// Config knobs that survive the wire. Workers 0 lets the hosting
 	// daemon pick its own default (its share of the process's CPUs).
@@ -105,16 +114,70 @@ type RunQueryResponse struct {
 	// effectiveness over the query's fetch phases.
 	CacheHits   int64
 	CacheMisses int64
+
+	// Spans is the machine's raw span list (offsets relative to the
+	// machine's own query start, so clock skew never crosses the wire);
+	// the coordinator stitches them into its cross-cluster timeline.
+	// PhaseNs stays alongside as the compact aggregate — and as the
+	// fallback for older workers that ship no spans.
+	Spans []obs.Span
 }
 
-// ByteSize counts the fixed-width fields plus the phase map payload.
+// ByteSize counts the fixed-width fields plus the phase map and span
+// payloads.
 func (r *RunQueryResponse) ByteSize() int {
 	n := 20*8 + 1
 	for k := range r.PhaseNs {
 		n += len(k) + 8
+	}
+	for i := range r.Spans {
+		n += len(r.Spans[i].Name) + 4*8
 	}
 	return n
 }
 
 // MessageKind names the message for per-kind accounting.
 func (r *RunQueryResponse) MessageKind() string { return "runQuery" }
+
+// StatsPullRequest asks a machine daemon for a snapshot of its
+// observability registry — the fleet-aggregation RPC behind
+// /metrics/cluster and /debug/cluster. It is a pure read (no query
+// state touched), so the retry policy classifies it as retryable.
+type StatsPullRequest struct{}
+
+// ByteSize: an empty control message.
+func (r *StatsPullRequest) ByteSize() int { return 1 }
+
+// MessageKind names the message for per-kind accounting.
+func (r *StatsPullRequest) MessageKind() string { return "statsPull" }
+
+// StatsPullResponse is one machine's frozen registry. Machines hosted
+// in one worker process share a registry, so co-hosted machines answer
+// with identical families — the coordinator labels each snapshot with
+// the machine id it asked, which is the honest per-machine attribution
+// the address book supports.
+type StatsPullResponse struct {
+	Machine int
+	// Fingerprint is the machine's partition fingerprint, so the fleet
+	// view can prove every worker serves the same snapshot.
+	Fingerprint uint64
+	Families    []obs.FamilySnapshot
+}
+
+// ByteSize estimates the snapshot payload: family/series names plus
+// fixed-width values and histogram layouts.
+func (r *StatsPullResponse) ByteSize() int {
+	n := 2 * 8
+	for i := range r.Families {
+		f := &r.Families[i]
+		n += len(f.Name) + len(f.Help) + len(f.Type) + len(f.Label)
+		for j := range f.Series {
+			s := &f.Series[j]
+			n += len(s.Label) + 4*8 + 8*(len(s.Bounds)+len(s.Counts))
+		}
+	}
+	return n
+}
+
+// MessageKind names the message for per-kind accounting.
+func (r *StatsPullResponse) MessageKind() string { return "statsPull" }

@@ -32,6 +32,10 @@ type EngineRequest struct {
 	// that trace (RADS, the cluster coordinator) record into it and
 	// snapshot it into their result's Profile.
 	Trace *obs.Trace
+	// QueryID is the service-minted query id; cluster-mode engines
+	// thread it onto the wire so workers attribute traces and journal
+	// events to the query.
+	QueryID uint64
 }
 
 // EngineResult is an engine's normalized answer.
@@ -96,6 +100,7 @@ func (s *Service) registryEngine(e engine.Engine) EngineFunc {
 			Budget:      req.Budget,
 			OnEmbedding: req.OnEmbedding,
 			Trace:       req.Trace,
+			QueryID:     req.QueryID,
 		}
 		if err := engine.ValidateRequest(e, ereq); err != nil {
 			return EngineResult{}, err

@@ -97,6 +97,10 @@ type Config struct {
 	// OnSlowQuery, when set, is called synchronously with the profile
 	// of every query slower than SlowQuery (radserve logs these).
 	OnSlowQuery func(*obs.Profile)
+	// Events, when set, receives the service's journal entries (slow
+	// queries, frontier splits); nil records nothing (obs.EventLog is
+	// nil-tolerant).
+	Events *obs.EventLog
 }
 
 func (c Config) withDefaults() Config {
@@ -527,6 +531,7 @@ func (s *Service) serve(ctx context.Context, h *Handle, fn EngineFunc, key strin
 		Pattern: h.query.Pattern,
 		Metrics: cluster.NewMetrics(s.part.M),
 		Trace:   trace,
+		QueryID: h.id,
 	}
 	// Per-kind exchange latencies flow straight into the shared
 	// histogram family; installed before the engine builds transports.
@@ -599,6 +604,10 @@ func (s *Service) serve(ctx context.Context, h *Handle, fn EngineFunc, key strin
 
 	s.treeNodes.Add(res.TreeNodes)
 	s.frontierSplits.Add(res.FrontierSplits)
+	if res.FrontierSplits > 0 {
+		s.cfg.Events.Recordf("frontier_split", -1,
+			"query %d (%s): %d huge-group frontier splits", h.id, h.query.Pattern.Name, res.FrontierSplits)
+	}
 	out := Result{
 		Pattern:   h.query.Pattern.Name,
 		Canonical: key,
@@ -643,6 +652,8 @@ func (s *Service) recordProfile(p *obs.Profile, elapsed time.Duration) {
 	s.profiles.Append(p)
 	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
 		s.slow.Append(p)
+		s.cfg.Events.Recordf("slow_query", -1,
+			"query %d (%s, %s) took %.3fs", p.ID, p.Query, p.Engine, elapsed.Seconds())
 		if s.cfg.OnSlowQuery != nil {
 			s.cfg.OnSlowQuery(p)
 		}

@@ -35,8 +35,11 @@ W1="127.0.0.1:$((PORT_BASE + 1))"
 W2="127.0.0.1:$((PORT_BASE + 2))"
 W1DBG="127.0.0.1:$((PORT_BASE + 3))"
 
-echo "== build"
-go build -o "$TMP/bin/" ./cmd/radserve ./cmd/radsworker
+echo "== build (ldflags-injected build info)"
+BUILD_VERSION=smoke
+BUILD_COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+go build -ldflags "-X rads/internal/buildinfo.Version=$BUILD_VERSION -X rads/internal/buildinfo.Commit=$BUILD_COMMIT" \
+    -o "$TMP/bin/" ./cmd/radserve ./cmd/radsworker
 
 echo "== write snapshot (partition once)"
 "$TMP/bin/radserve" -dataset DBLP -scale 0.4 -machines 4 \
@@ -135,12 +138,19 @@ for family in \
     'rads_jobs_total{outcome="failed"}' \
     'rads_job_progress' \
     'rads_census_subgraphs_total' \
-    'rads_census_subgraphs_per_second'; do
+    'rads_census_subgraphs_per_second' \
+    '# TYPE rads_events_total counter' \
+    "rads_build_info{build=\"$BUILD_VERSION@$BUILD_COMMIT\"} 1"; do
     if ! grep -qF "$family" <<<"$metrics"; then
         echo "FAIL: coordinator /metrics missing $family"
         echo "$metrics"; exit 1
     fi
 done
+# The same injected build info appears in /healthz.
+if ! curl -fs "http://$ADDR/healthz" | grep -qF "\"build\":\"$BUILD_VERSION@$BUILD_COMMIT\""; then
+    echo "FAIL: coordinator /healthz missing build info"
+    curl -fs "http://$ADDR/healthz"; exit 1
+fi
 
 echo "== observability: /metrics and /healthz on worker 1"
 wmetrics=$(curl -fs "http://$W1DBG/metrics")
@@ -150,19 +160,33 @@ for family in \
     'rads_handle_seconds_count{kind="runQuery"}' \
     'rads_transport_bytes_total{kind=' \
     'rads_cache_hits_total' \
-    'rads_steals_total'; do
+    'rads_steals_total' \
+    'rads_events_total{type="query_start"}' \
+    'rads_events_total{type="query_done"}' \
+    "rads_build_info{build=\"$BUILD_VERSION@$BUILD_COMMIT\"} 1"; do
     if ! grep -qF "$family" <<<"$wmetrics"; then
         echo "FAIL: worker /metrics missing $family"
         echo "$wmetrics"; exit 1
     fi
 done
+# The worker's journal replays its query executions.
+wevents=$(curl -fs "http://$W1DBG/debug/events?type=query_done")
+python3 - "$wevents" <<'EOF'
+import json, sys
+d = json.loads(sys.argv[1])
+evs = d["events"]
+assert evs, "worker journal has no query_done events"
+assert all(e["type"] == "query_done" for e in evs), "?type= filter leaked other events"
+assert any("ok in" in e["detail"] for e in evs), evs
+EOF
 health=$(curl -fs "http://$W1DBG/healthz")
-python3 - "$health" <<'EOF'
+python3 - "$health" "$BUILD_VERSION@$BUILD_COMMIT" <<'EOF'
 import json, sys
 h = json.loads(sys.argv[1])
 assert h["ready"] is True, h
 assert h["machines"] == [0, 1], h
 assert len(h["snapshot_fingerprint"]) == 16, h
+assert h["build"] == sys.argv[2], h
 EOF
 echo "   worker healthz: $health"
 
@@ -177,6 +201,52 @@ p = recent[0]
 assert p.get("wall_seconds", 0) > 0 or p.get("cache_hit"), p
 EOF
 echo "   recent profiles present"
+
+echo "== observability: stitched cluster trace covers >= 2 machines"
+qid=$(curl -s "http://$ADDR/query?pattern=q1&engine=RADS&nocache=1" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["query_id"])')
+curl -fs "http://$ADDR/debug/trace?id=$qid" | python3 -c '
+import json, sys
+p = json.load(sys.stdin)
+spans = p.get("spans") or []
+stitched = [s for s in spans if s["name"].startswith("execute/") and s["machine"] >= 0]
+machines = sorted({s["machine"] for s in stitched})
+assert len(machines) >= 2, "stitched spans cover machines %s, want >= 2 (%d spans)" % (machines, len(spans))
+starts = [s["start_ns"] for s in spans]
+assert starts == sorted(starts), "spans not in timeline order"
+print("   query %d: %d spans from machines %s" % (p["id"], len(spans), machines))'
+
+echo "== observability: /metrics/cluster merges worker registries under machine labels"
+fleet=$(curl -fs "http://$ADDR/metrics/cluster")
+for line in \
+    'rads_queries_total{machine="0",outcome="ok"}' \
+    'rads_queries_total{machine="2",outcome="ok"}' \
+    'rads_handle_seconds_count{machine="1",kind="runQuery"}' \
+    'rads_handle_seconds_count{machine="3",kind="runQuery"}' \
+    "rads_build_info{machine=\"0\",build=\"$BUILD_VERSION@$BUILD_COMMIT\"} 1" \
+    'rads_cache_hits_total '; do
+    if ! grep -qF "$line" <<<"$fleet"; then
+        echo "FAIL: /metrics/cluster missing $line"
+        echo "$fleet" | head -60; exit 1
+    fi
+done
+# One HELP block per family even when coordinator and workers share it.
+if [ "$(grep -cF '# HELP rads_cache_hits_total' <<<"$fleet")" != 1 ]; then
+    echo "FAIL: shared family rendered with duplicate HELP blocks"; exit 1
+fi
+
+echo "== observability: /debug/cluster fleet summary"
+curl -fs "http://$ADDR/debug/cluster" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+assert s["healthy"] is True, s
+assert s["machines"] == 4, s
+assert len(s["workers"]) == 4, s
+fps = {w["fingerprint"] for w in s["workers"]}
+assert len(fps) == 1 and "" not in fps, s
+for w in s["workers"]:
+    assert w["up"] and w["breaker"] == "closed", w
+print("   4 workers up, fingerprint", fps.pop())'
 
 echo "== restart radserve: first query must be warm (no re-partitioning)"
 kill "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
@@ -280,6 +350,21 @@ if [ "$recovered" != "$warm" ]; then
     echo "FAIL: post-recovery count $recovered != $warm"; exit 1
 fi
 echo "   recovered: triangle=$recovered"
+
+echo "== chaos: /debug/events replays the breaker transitions in order"
+curl -fs "http://$ADDR/debug/events" | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+evs = d["events"]
+opens = [e for e in evs if e["type"] == "breaker_open" and e["machine"] in (2, 3)]
+closes = [e for e in evs if e["type"] == "breaker_close" and e["machine"] in (2, 3)]
+assert opens, "no breaker_open event for the wedged worker: %s" % evs
+assert closes, "no breaker_close event after recovery: %s" % evs
+assert opens[0]["seq"] < closes[-1]["seq"], (opens, closes)
+assert all("worker %d" % e["machine"] in e["detail"] for e in opens + closes), (opens, closes)
+c = d["counts"]
+assert c.get("breaker_open", 0) >= 1 and c.get("breaker_close", 0) >= 1, c
+print("   journal: %d breaker_open, %d breaker_close for the stopped worker" % (len(opens), len(closes)))'
 
 echo "== chaos: kill worker 2 outright, restart it — no coordinator restart"
 kill -9 "$W2PID"; wait "$W2PID" 2>/dev/null || true
